@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the runtime controllers themselves: the
+//! per-graph overhead of executing the same small reduction on each
+//! backend — "the framework guarantees the same tasks are executed,
+//! independent of the runtime; it provides an ideal test bed to compare
+//! and contrast how different runtimes execute various workloads."
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use babelflow_core::{
+    run_serial, Blob, CallbackId, Controller, ModuloMap, Payload, Registry, TaskGraph, TaskId,
+};
+use babelflow_graphs::Reduction;
+
+fn val(p: &Payload) -> u64 {
+    u64::from_le_bytes(p.extract::<Blob>().unwrap().0.as_slice().try_into().unwrap())
+}
+
+fn pay(v: u64) -> Payload {
+    Payload::wrap(Blob(v.to_le_bytes().to_vec()))
+}
+
+fn setup() -> (Reduction, Registry, HashMap<TaskId, Vec<Payload>>) {
+    let g = Reduction::new(64, 4);
+    let mut reg = Registry::new();
+    reg.register(CallbackId(0), |inputs, _| vec![inputs[0].clone()]);
+    reg.register(CallbackId(1), |inputs, _| {
+        vec![pay(inputs.iter().map(val).fold(0, u64::wrapping_add))]
+    });
+    reg.register(CallbackId(2), |inputs, _| {
+        vec![pay(inputs.iter().map(val).fold(0, u64::wrapping_add))]
+    });
+    let inputs: HashMap<TaskId, Vec<Payload>> = g
+        .leaf_ids()
+        .into_iter()
+        .enumerate()
+        .map(|(i, id)| (id, vec![pay(i as u64)]))
+        .collect();
+    (g, reg, inputs)
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let (g, reg, inputs) = setup();
+    let map = ModuloMap::new(4, g.size() as u64);
+
+    let mut group = c.benchmark_group("controller_overhead_64leaf_reduction");
+    group.sample_size(10);
+
+    group.bench_function("serial", |b| {
+        b.iter(|| run_serial(&g, &reg, inputs.clone()).unwrap());
+    });
+    group.bench_function("mpi_async_4r", |b| {
+        b.iter(|| babelflow_mpi::MpiController::new().run(&g, &map, &reg, inputs.clone()).unwrap());
+    });
+    group.bench_function("mpi_blocking_4r", |b| {
+        b.iter(|| {
+            babelflow_mpi::BlockingMpiController::new()
+                .run(&g, &map, &reg, inputs.clone())
+                .unwrap()
+        });
+    });
+    group.bench_function("charm_4pe", |b| {
+        b.iter(|| {
+            babelflow_charm::CharmController::new(4)
+                .run(&g, &map, &reg, inputs.clone())
+                .unwrap()
+        });
+    });
+    group.bench_function("legion_spmd_4w", |b| {
+        b.iter(|| {
+            babelflow_legion::LegionSpmdController::new(4)
+                .run(&g, &map, &reg, inputs.clone())
+                .unwrap()
+        });
+    });
+    group.bench_function("legion_il_4w", |b| {
+        b.iter(|| {
+            babelflow_legion::LegionIndexLaunchController::new(4)
+                .run(&g, &map, &reg, inputs.clone())
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(controllers, bench_controllers);
+criterion_main!(controllers);

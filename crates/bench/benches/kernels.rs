@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the computational kernels every use case
+//! is built from. These are the numbers the simulator's cost models are
+//! calibrated against (see `babelflow_sim::models`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use babelflow_core::PayloadData;
+use babelflow_data::{hcci_proxy, HcciParams, Idx3};
+use babelflow_register::search_offset;
+use babelflow_render::{render_block, ImageFragment, RenderParams, TransferFunction};
+use babelflow_topology::{segment_tree, BlockData, MergeTree, MergeTreeConfig};
+
+fn bench_merge_tree(c: &mut Criterion) {
+    let n = 24;
+    let grid = hcci_proxy(&HcciParams { size: n, kernels: 10, seed: 3, ..HcciParams::default() });
+    let cfg = MergeTreeConfig {
+        dims: Idx3::new(n, n, n),
+        blocks: Idx3::new(1, 1, 1),
+        threshold: 0.3,
+        valence: 2,
+    };
+    let block =
+        BlockData { origin: Idx3::new(0, 0, 0), coords: Idx3::new(0, 0, 0), grid: grid.clone() };
+
+    c.bench_function("merge_tree/local_24cubed", |b| {
+        b.iter(|| cfg.local_tree(&block));
+    });
+
+    let tree = cfg.local_tree(&block);
+    c.bench_function("merge_tree/join_two", |b| {
+        b.iter(|| MergeTree::join(&[&tree, &tree]));
+    });
+
+    c.bench_function("merge_tree/restrict_faces", |b| {
+        b.iter(|| tree.restrict(|v| v % 24 == 0));
+    });
+
+    c.bench_function("merge_tree/segment", |b| {
+        b.iter(|| segment_tree(&tree, 0.3, |_| true));
+    });
+
+    c.bench_function("merge_tree/encode_decode", |b| {
+        b.iter(|| {
+            let bytes = tree.encode();
+            MergeTree::decode(&bytes).unwrap()
+        });
+    });
+}
+
+fn bench_render(c: &mut Criterion) {
+    let n = 32;
+    let grid = hcci_proxy(&HcciParams { size: n, kernels: 10, seed: 4, ..HcciParams::default() });
+    let params = RenderParams {
+        image: (n as u32, n as u32),
+        world: (n, n),
+        step: 1.0,
+        tf: TransferFunction::default(),
+    };
+    c.bench_function("render/raycast_32cubed", |b| {
+        b.iter(|| render_block(&params, (0, 0, 0), &grid));
+    });
+
+    let a = ImageFragment::empty((512, 512), (0, 0, 512, 512), 0.0);
+    let bfrag = ImageFragment::empty((512, 512), (0, 0, 512, 512), 1.0);
+    c.bench_function("render/composite_512sq", |b| {
+        b.iter(|| ImageFragment::over(&a, &bfrag));
+    });
+
+    c.bench_function("render/crop_rows", |b| {
+        b.iter(|| a.crop_rows(128, 256));
+    });
+}
+
+fn bench_register(c: &mut Criterion) {
+    let n = 24;
+    let grid = hcci_proxy(&HcciParams { size: n, kernels: 8, seed: 6, ..HcciParams::default() });
+    let patch = grid.crop(Idx3::new(0, 0, 0), Idx3::new(8, n, n));
+    c.bench_function("register/ncc_search_w1", |b| {
+        b.iter(|| search_offset(&patch, (0, 0, 0), &patch, (0, 0, 0), (0, 0, 0), 1));
+    });
+}
+
+fn bench_data(c: &mut Criterion) {
+    c.bench_function("data/hcci_proxy_24cubed", |b| {
+        b.iter_batched(
+            || (),
+            |_| hcci_proxy(&HcciParams { size: 24, kernels: 10, seed: 9, ..HcciParams::default() }),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let g = hcci_proxy(&HcciParams { size: 24, kernels: 6, seed: 9, ..HcciParams::default() });
+    c.bench_function("data/grid_encode_decode", |b| {
+        b.iter(|| babelflow_data::Grid3::decode(&g.encode()).unwrap());
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_merge_tree, bench_render, bench_register, bench_data
+);
+criterion_main!(kernels);

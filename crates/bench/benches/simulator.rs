@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the discrete-event simulator's throughput:
+//! events per second on figure-scale graphs. The fig06 sweep simulates
+//! ~240k-task graphs, so the engine must stay well into the millions of
+//! events per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use babelflow_core::{ModuloMap, TaskGraph, TaskMap};
+use babelflow_graphs::KWayMerge;
+use babelflow_sim::{simulate, MachineConfig, MergeTreeCost, RuntimeCosts};
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_merge_tree");
+    group.sample_size(10);
+    for leaves in [64u64, 512] {
+        let g = KWayMerge::new(leaves, 8);
+        let cores = (leaves as u32).min(128);
+        let map = ModuloMap::new(cores, g.size() as u64);
+        let cost = MergeTreeCost::new(g.clone(), 32 * 32 * 32);
+        let machine = MachineConfig::shaheen(cores);
+        group.throughput(criterion::Throughput::Elements(g.size() as u64));
+        group.bench_with_input(BenchmarkId::new("mpi_async", leaves), &leaves, |b, _| {
+            b.iter(|| {
+                simulate(&g, &|id| map.shard(id).0, &cost, &machine, &RuntimeCosts::mpi_async())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("charm", leaves), &leaves, |b, _| {
+            b.iter(|| simulate(&g, &|id| map.shard(id).0, &cost, &machine, &RuntimeCosts::charm()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_queries(c: &mut Criterion) {
+    // Procedural graph instantiation must stay cheap even at paper scale.
+    let g = KWayMerge::new(32768, 8);
+    c.bench_function("graph/kway_merge_32k_all_tasks", |b| {
+        b.iter(|| {
+            let mut edges = 0usize;
+            for id in g.ids() {
+                edges += g.task(id).unwrap().fan_in();
+            }
+            edges
+        });
+    });
+}
+
+criterion_group!(simulator, bench_des, bench_graph_queries);
+criterion_main!(simulator);

@@ -1,0 +1,147 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation removes one mechanism from the BabelFlow design and
+//! measures the cost on the simulator, at paper scale:
+//!
+//! 1. **Relay overlay vs direct broadcast** — "to avoid sending too many
+//!    messages from a single join task, the dataflow implements its own
+//!    overlay tree".
+//! 2. **Reduction valence** — "in practice, we typically use 8-way
+//!    reductions (i.e., k = 8) to reduce the height of the tree".
+//! 3. **In-memory fast path** — "the controller checks explicitly for
+//!    inter-rank messages for which it skips the serialization".
+//! 4. **Controller/worker thread split** — "each MPI rank instantiates a
+//!    separate controller in its main thread … [tasks run] in the
+//!    background".
+
+use babelflow_core::{ModuloMap, TaskGraph, TaskMap};
+use babelflow_graphs::KWayMerge;
+use babelflow_sim::{simulate, MachineConfig, MergeTreeCost, RuntimeCosts, SimReport};
+
+use crate::{fmt_s, results_dir, write_csv};
+
+fn sim(g: &KWayMerge, cores: u32, rc: &RuntimeCosts) -> SimReport {
+    let map = ModuloMap::new(cores, g.size() as u64);
+    let cost = MergeTreeCost::new(g.clone(), 32 * 32 * 32);
+    let machine = MachineConfig::shaheen(cores);
+    simulate(g, &|id| map.shard(id).0, &cost, &machine, rc)
+}
+
+const SWEEP: &[u32] = &[128, 512, 2048, 8192, 32768];
+
+/// Ablation 1: relay overlay tree vs direct join→correction fan-out.
+pub fn ablation_relay() {
+    let relay = KWayMerge::new(32768, 8);
+    let direct = KWayMerge::new(32768, 8).with_direct_broadcast();
+    let rc = RuntimeCosts::mpi_async();
+    let rows: Vec<Vec<String>> = SWEEP
+        .iter()
+        .map(|&cores| {
+            let a = sim(&relay, cores, &rc);
+            let b = sim(&direct, cores, &rc);
+            vec![
+                cores.to_string(),
+                fmt_s(a.seconds()),
+                fmt_s(b.seconds()),
+                a.messages.to_string(),
+                b.messages.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(
+        &results_dir().join("ablation_relay_overlay.csv"),
+        "cores,relay_tree_s,direct_broadcast_s,relay_msgs,direct_msgs",
+        &rows,
+    );
+}
+
+/// Ablation 2: reduction valence k ∈ {2, 4, 8} at a fixed 4096 leaves.
+pub fn ablation_valence() {
+    let rc = RuntimeCosts::mpi_async();
+    let graphs: Vec<(u64, KWayMerge)> =
+        [2u64, 4, 8].iter().map(|&k| (k, KWayMerge::new(4096, k))).collect();
+    let rows: Vec<Vec<String>> = SWEEP[..4]
+        .iter()
+        .map(|&cores| {
+            let mut row = vec![cores.to_string()];
+            for (_, g) in &graphs {
+                row.push(fmt_s(sim(g, cores, &rc).seconds()));
+            }
+            row
+        })
+        .collect();
+    write_csv(
+        &results_dir().join("ablation_valence.csv"),
+        "cores,k2_s,k4_s,k8_s",
+        &rows,
+    );
+}
+
+/// Ablation 3: the in-memory fast path for intra-rank messages. Uses the
+/// locality-preserving `MergeTreeMap` (corrections co-located with their
+/// leaf) — with round-robin placement almost no edge is intra-rank and
+/// the fast path has nothing to skip.
+pub fn ablation_fast_path() {
+    let g = KWayMerge::new(4096, 8);
+    let with = RuntimeCosts::mpi_async();
+    let mut without = RuntimeCosts::mpi_async();
+    without.local_fast_path = false;
+    without.name = "MPI (no fast path)";
+    let cost = MergeTreeCost::new(g.clone(), 32 * 32 * 32);
+    let run = |cores: u32, rc: &RuntimeCosts| {
+        let map = babelflow_graphs::MergeTreeMap::new(g.clone(), cores);
+        let machine = MachineConfig::shaheen(cores);
+        simulate(&g, &|id| map.shard(id).0, &cost, &machine, rc)
+    };
+    let rows: Vec<Vec<String>> = SWEEP[..4]
+        .iter()
+        .map(|&cores| {
+            let a = run(cores, &with);
+            let b = run(cores, &without);
+            vec![
+                cores.to_string(),
+                fmt_s(a.seconds()),
+                fmt_s(b.seconds()),
+                a.messages.to_string(),
+                b.messages.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(
+        &results_dir().join("ablation_fast_path.csv"),
+        "cores,fast_path_s,always_serialize_s,fast_msgs,slow_msgs",
+        &rows,
+    );
+}
+
+/// Ablation 4: the controller-thread/worker split of the MPI controller.
+pub fn ablation_comm_thread() {
+    let g = KWayMerge::new(4096, 8);
+    let with = RuntimeCosts::mpi_async();
+    let mut without = RuntimeCosts::mpi_async();
+    without.comm_thread = false;
+    without.name = "MPI (inline comm)";
+    let rows: Vec<Vec<String>> = SWEEP[..4]
+        .iter()
+        .map(|&cores| {
+            vec![
+                cores.to_string(),
+                fmt_s(sim(&g, cores, &with).seconds()),
+                fmt_s(sim(&g, cores, &without).seconds()),
+            ]
+        })
+        .collect();
+    write_csv(
+        &results_dir().join("ablation_comm_thread.csv"),
+        "cores,comm_thread_s,inline_comm_s",
+        &rows,
+    );
+}
+
+/// Run every ablation.
+pub fn run_all() {
+    ablation_relay();
+    ablation_valence();
+    ablation_fast_path();
+    ablation_comm_thread();
+}

@@ -1,0 +1,5 @@
+//! Run the design-choice ablation studies (relay overlay, valence,
+//! in-memory fast path, controller-thread split).
+fn main() {
+    babelflow_bench::ablations::run_all();
+}

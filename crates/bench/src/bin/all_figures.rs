@@ -1,0 +1,4 @@
+//! Regenerate every figure of the paper into `results/`.
+fn main() {
+    babelflow_bench::figures::run_all();
+}

@@ -1,0 +1,6 @@
+//! Measure real kernel costs and compare against the simulator's model
+//! defaults.
+fn main() {
+    let ms = babelflow_bench::calibrate::run();
+    babelflow_bench::calibrate::print(&ms);
+}

@@ -1,0 +1,5 @@
+//! Regenerate Fig. 2: Legion index-launch vs SPMD on the merge-tree
+//! dataflow.
+fn main() {
+    babelflow_bench::figures::fig02();
+}

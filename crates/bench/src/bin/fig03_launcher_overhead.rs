@@ -1,0 +1,4 @@
+//! Regenerate Fig. 3: launcher staging/compute breakdown.
+fn main() {
+    babelflow_bench::figures::fig03();
+}

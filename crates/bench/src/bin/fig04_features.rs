@@ -1,0 +1,4 @@
+//! Regenerate Fig. 4: features extracted from the HCCI proxy.
+fn main() {
+    babelflow_bench::figures::fig04();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 5: the merge-tree dataflow drawing.
+fn main() {
+    babelflow_bench::figures::fig05();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 6: merge-tree scaling across runtimes.
+fn main() {
+    babelflow_bench::figures::fig06();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 7: the binary-swap dataflow drawing.
+fn main() {
+    babelflow_bench::figures::fig07();
+}

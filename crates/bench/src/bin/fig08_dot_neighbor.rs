@@ -1,0 +1,4 @@
+//! Regenerate Fig. 8: the neighbor registration dataflow drawing.
+fn main() {
+    babelflow_bench::figures::fig08();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 9: brain registration scaling.
+fn main() {
+    babelflow_bench::figures::fig09();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 10a: volume-rendering stage scaling.
+fn main() {
+    babelflow_bench::figures::fig10a();
+}

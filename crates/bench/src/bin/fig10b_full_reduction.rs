@@ -1,0 +1,4 @@
+//! Regenerate Fig. 10b: full pipeline with reduction compositing.
+fn main() {
+    babelflow_bench::figures::fig10_compositing("fig10b_full_reduction", true, true);
+}

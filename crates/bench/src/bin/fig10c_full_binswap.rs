@@ -1,0 +1,4 @@
+//! Regenerate Fig. 10c: full pipeline with binary-swap compositing.
+fn main() {
+    babelflow_bench::figures::fig10_compositing("fig10c_full_binswap", false, true);
+}

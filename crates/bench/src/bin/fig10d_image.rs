@@ -1,0 +1,4 @@
+//! Regenerate Fig. 10d: the composited image (real end-to-end pipeline).
+fn main() {
+    babelflow_bench::figures::fig10d();
+}

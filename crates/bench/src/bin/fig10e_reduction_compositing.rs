@@ -1,0 +1,4 @@
+//! Regenerate Fig. 10e: reduction compositing only.
+fn main() {
+    babelflow_bench::figures::fig10_compositing("fig10e_reduction_compositing", true, false);
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 10f: binary-swap compositing only.
+fn main() {
+    babelflow_bench::figures::fig10_compositing("fig10f_binswap_compositing", false, false);
+}

@@ -1,0 +1,4 @@
+//! Generate gnuplot scripts next to the figure CSVs in `results/`.
+fn main() {
+    babelflow_bench::plots::run_all();
+}

@@ -1,0 +1,144 @@
+//! Cost-model calibration against the real kernels.
+//!
+//! Runs the actual task implementations on small inputs, times them, and
+//! reports ns-per-unit constants next to the defaults baked into
+//! `babelflow_sim::models`. Run with
+//! `cargo run -p babelflow-bench --release --bin calibrate`.
+
+use std::time::Instant;
+
+use babelflow_data::{hcci_proxy, HcciParams, Idx3};
+use babelflow_render::{render_block, ImageFragment, RenderParams, TransferFunction};
+use babelflow_topology::{segment_tree, BlockData, MergeTreeConfig};
+
+/// One measured constant.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// What was measured.
+    pub name: &'static str,
+    /// Measured ns per unit.
+    pub measured: f64,
+    /// Default in `babelflow_sim::models`.
+    pub model_default: f64,
+}
+
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Warm up once, then take the best of three (less scheduler noise).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Run all calibrations; returns the measurements.
+pub fn run() -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let n = 32;
+    let grid = hcci_proxy(&HcciParams { size: n, kernels: 12, seed: 5, ..HcciParams::default() });
+    let cfg = MergeTreeConfig {
+        dims: Idx3::new(n, n, n),
+        blocks: Idx3::new(1, 1, 1),
+        threshold: 0.3,
+        valence: 2,
+    };
+    let block = BlockData {
+        origin: Idx3::new(0, 0, 0),
+        coords: Idx3::new(0, 0, 0),
+        grid: grid.clone(),
+    };
+    let verts = (n * n * n) as f64;
+
+    // Local merge-tree sweep.
+    let mut tree = None;
+    let t = time_ns(|| tree = Some(cfg.local_tree(&block)));
+    out.push(Measurement { name: "merge-tree local (ns/vertex)", measured: t / verts, model_default: 130.0 });
+    let tree = tree.expect("built above");
+
+    // Join of two copies (same node count each).
+    let t = time_ns(|| {
+        let _ = babelflow_topology::MergeTree::join(&[&tree, &tree]);
+    });
+    out.push(Measurement {
+        name: "merge-tree join (ns/node)",
+        measured: t / (2.0 * tree.len() as f64),
+        model_default: 160.0,
+    });
+
+    // Segmentation.
+    let t = time_ns(|| {
+        let _ = segment_tree(&tree, 0.3, |_| true);
+    });
+    out.push(Measurement { name: "segmentation (ns/vertex)", measured: t / verts, model_default: 30.0 });
+
+    // Ray casting.
+    let params = RenderParams {
+        image: (n as u32, n as u32),
+        world: (n, n),
+        step: 1.0,
+        tf: TransferFunction::default(),
+    };
+    let t = time_ns(|| {
+        let _ = render_block(&params, (0, 0, 0), &grid);
+    });
+    out.push(Measurement {
+        name: "raycast (ns/(ray*sample))",
+        measured: t / (verts),
+        model_default: 18.0,
+    });
+
+    // Compositing.
+    let a = ImageFragment::empty((256, 256), (0, 0, 256, 256), 0.0);
+    let b = ImageFragment::empty((256, 256), (0, 0, 256, 256), 1.0);
+    let t = time_ns(|| {
+        let _ = ImageFragment::over(&a, &b);
+    });
+    out.push(Measurement {
+        name: "composite (ns/pixel)",
+        measured: t / (256.0 * 256.0),
+        model_default: 6.0,
+    });
+
+    // NCC offset search.
+    let pa = grid.crop(Idx3::new(0, 0, 0), Idx3::new(8, n, n));
+    let pb = grid.crop(Idx3::new(0, 0, 0), Idx3::new(8, n, n));
+    let w = 1i64;
+    let t = time_ns(|| {
+        let _ = babelflow_register::search_offset(&pa, (0, 0, 0), &pb, (0, 0, 0), (0, 0, 0), w);
+    });
+    let cand = ((2 * w + 1) as f64).powi(3);
+    out.push(Measurement {
+        name: "ncc (ns/(candidate*voxel))",
+        measured: t / (cand * (8 * n * n) as f64),
+        model_default: 2.5,
+    });
+
+    out
+}
+
+/// Pretty-print measurements.
+pub fn print(measurements: &[Measurement]) {
+    println!("{:<34} {:>12} {:>12}", "kernel", "measured", "model");
+    for m in measurements {
+        println!("{:<34} {:>12.2} {:>12.2}", m.name, m.measured, m.model_default);
+    }
+    println!(
+        "\nModel defaults live in crates/sim/src/models.rs; re-run on your\n\
+         machine and adjust if they diverge by more than ~2x."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn calibration_runs_and_is_positive() {
+        let ms = super::run();
+        assert!(ms.len() >= 6);
+        for m in &ms {
+            assert!(m.measured > 0.0, "{} measured zero", m.name);
+        }
+    }
+}

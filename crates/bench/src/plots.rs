@@ -1,0 +1,200 @@
+//! Gnuplot script generation for the figure CSVs (the paper's plots are
+//! gnuplot; this produces directly renderable equivalents).
+//!
+//! Run the `plots` binary after `all_figures`; each CSV in `results/`
+//! gains a sibling `.gnuplot` script. Render with
+//! `gnuplot results/<name>.gnuplot` → `results/<name>.png` (requires
+//! gnuplot to be installed; the scripts themselves are plain text and
+//! generated offline).
+
+use std::path::Path;
+
+use crate::results_dir;
+
+/// Description of one plot.
+struct PlotSpec {
+    csv: &'static str,
+    title: &'static str,
+    xlabel: &'static str,
+    ylabel: &'static str,
+    logx: bool,
+    logy: bool,
+}
+
+const PLOTS: &[PlotSpec] = &[
+    PlotSpec {
+        csv: "fig02_legion_il_vs_spmd",
+        title: "Fig 2: Legion index launches vs SPMD (merge tree, 512^3)",
+        xlabel: "Number of cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+    PlotSpec {
+        csv: "fig03_launcher_overhead",
+        title: "Fig 3: launcher strong scaling (single launch)",
+        xlabel: "Number of tasks/cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: true,
+    },
+    PlotSpec {
+        csv: "fig06_merge_tree_scaling",
+        title: "Fig 6: parallel merge tree across runtimes (1024^3)",
+        xlabel: "Number of cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+    PlotSpec {
+        csv: "fig09_registration_scaling",
+        title: "Fig 9: brain data registration",
+        xlabel: "Number of nodes",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+    PlotSpec {
+        csv: "fig10a_render_scaling",
+        title: "Fig 10a: volume rendering",
+        xlabel: "Number of cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+    PlotSpec {
+        csv: "fig10b_full_reduction",
+        title: "Fig 10b: rendering + reduction compositing",
+        xlabel: "Number of cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+    PlotSpec {
+        csv: "fig10c_full_binswap",
+        title: "Fig 10c: rendering + binary swap compositing",
+        xlabel: "Number of cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+    PlotSpec {
+        csv: "fig10e_reduction_compositing",
+        title: "Fig 10e: reduction compositing",
+        xlabel: "Number of cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+    PlotSpec {
+        csv: "fig10f_binswap_compositing",
+        title: "Fig 10f: binary swap compositing",
+        xlabel: "Number of cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+    PlotSpec {
+        csv: "ablation_valence",
+        title: "Ablation: reduction valence (4096 blocks)",
+        xlabel: "Number of cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+    PlotSpec {
+        csv: "ablation_relay_overlay",
+        title: "Ablation: relay overlay vs direct broadcast (32768 blocks)",
+        xlabel: "Number of cores",
+        ylabel: "Time (sec)",
+        logx: true,
+        logy: false,
+    },
+];
+
+/// Series labels from a CSV header (first column is the x axis). Only
+/// `_s`-suffixed columns are plotted (counters are skipped).
+fn series(header: &str) -> Vec<(usize, String)> {
+    header
+        .split(',')
+        .enumerate()
+        .skip(1)
+        .filter(|(_, name)| name.ends_with("_s"))
+        .map(|(i, name)| (i + 1, name.trim_end_matches("_s").replace('_', " ")))
+        .collect()
+}
+
+/// Generate one gnuplot script; returns false if the CSV is missing.
+fn emit(dir: &Path, spec: &PlotSpec) -> bool {
+    let csv = dir.join(format!("{}.csv", spec.csv));
+    let Ok(contents) = std::fs::read_to_string(&csv) else {
+        return false;
+    };
+    let header = contents.lines().next().unwrap_or_default();
+    let mut script = String::new();
+    script.push_str(&format!(
+        "set terminal pngcairo size 900,600\nset output '{}.png'\n",
+        spec.csv
+    ));
+    script.push_str(&format!("set title \"{}\"\n", spec.title));
+    script.push_str(&format!("set xlabel \"{}\"\nset ylabel \"{}\"\n", spec.xlabel, spec.ylabel));
+    script.push_str("set datafile separator ','\nset key top right\nset grid\n");
+    if spec.logx {
+        script.push_str("set logscale x 2\n");
+    }
+    if spec.logy {
+        script.push_str("set logscale y\n");
+    }
+    let plots: Vec<String> = series(header)
+        .into_iter()
+        .map(|(col, label)| {
+            format!("'{}.csv' every ::1 using 1:{col} with linespoints title \"{label}\"", spec.csv)
+        })
+        .collect();
+    script.push_str(&format!("plot {}\n", plots.join(", \\\n     ")));
+    std::fs::write(dir.join(format!("{}.gnuplot", spec.csv)), script).expect("write gnuplot");
+    true
+}
+
+/// Generate gnuplot scripts for every figure CSV present in `results/`.
+pub fn run_all() {
+    let dir = results_dir();
+    let mut written = 0;
+    for spec in PLOTS {
+        if emit(&dir, spec) {
+            written += 1;
+        } else {
+            eprintln!("skipping {} (csv missing — run all_figures first)", spec.csv);
+        }
+    }
+    println!("wrote {written} gnuplot scripts to {}", dir.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_filters_to_seconds_columns() {
+        let s = series("cores,mpi_s,charm_s,messages,legion_s");
+        assert_eq!(
+            s,
+            vec![(2, "mpi".to_string()), (3, "charm".to_string()), (5, "legion".to_string())]
+        );
+    }
+
+    #[test]
+    fn emit_writes_script_for_existing_csv() {
+        let dir = std::env::temp_dir().join("bf_plots_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("fig06_merge_tree_scaling.csv"), "cores,mpi_s\n128,1.0\n")
+            .unwrap();
+        let spec = &PLOTS.iter().find(|p| p.csv == "fig06_merge_tree_scaling").unwrap();
+        assert!(emit(&dir, spec));
+        let script =
+            std::fs::read_to_string(dir.join("fig06_merge_tree_scaling.gnuplot")).unwrap();
+        assert!(script.contains("set logscale x 2"));
+        assert!(script.contains("using 1:2"));
+        assert!(!emit(&dir, PLOTS.first().unwrap()) || dir.join("fig02_legion_il_vs_spmd.csv").exists());
+    }
+}

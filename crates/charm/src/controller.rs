@@ -1,0 +1,180 @@
+//! The Charm++ controller — §IV-B of the paper.
+//!
+//! "The Charm++ runtime controller implements the tasks as chares. […] The
+//! tasks in the task graph are mapped to a collection of chares called a
+//! chare array. […] no explicit task map is needed. […] Unlike the MPI and
+//! Legion implementation, Charm++ does not explicitly instantiate any local
+//! or global task graph. Instead, the chare id is translated into a task id
+//! at the execution time of a chare, […] and the communication between
+//! chares uses remote procedure calls."
+//!
+//! Accordingly this controller ignores the user's `TaskMap` (the runtime
+//! places and rebalances chares itself), creates one chare per task with
+//! chare index == task id, and starts the dataflow by delivering the
+//! initial payloads to the input chares.
+
+use std::time::Duration;
+
+use babelflow_core::{
+    preflight, Callback, Controller, ControllerError, InitialInputs, InputBuffer, Payload,
+    Registry, Result, RunReport, Task, TaskGraph, TaskId, TaskMap,
+};
+
+use crate::runtime::{Chare, ChareCtx, CharmRuntime, LoadBalance};
+
+/// Charm++-style controller: tasks as migratable chares with periodic load
+/// balancing.
+#[derive(Clone, Debug)]
+pub struct CharmController {
+    /// Processing elements (worker threads) to schedule chares on.
+    pub pes: usize,
+    /// Load-balancing strategy (paper experiments use periodic).
+    pub lb: LoadBalance,
+    /// Quiescence-stall timeout.
+    pub timeout: Duration,
+}
+
+impl CharmController {
+    /// Controller over `pes` processing elements with periodic load
+    /// balancing every 50 ms.
+    pub fn new(pes: usize) -> Self {
+        CharmController {
+            pes,
+            lb: LoadBalance::Periodic(Duration::from_millis(50)),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Set the load-balancing strategy.
+    pub fn with_lb(mut self, lb: LoadBalance) -> Self {
+        self.lb = lb;
+        self
+    }
+
+    /// Set the quiescence-stall timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// A task graph node hosted as a chare: buffers inputs, executes its
+/// callback when complete, then retires.
+struct TaskChare {
+    buffer: InputBuffer,
+    callback: Callback,
+    error: ErrorSink,
+}
+
+type ErrorSink = std::sync::Arc<parking_lot::Mutex<Option<ControllerError>>>;
+
+impl Chare for TaskChare {
+    fn on_message(&mut self, src: TaskId, payload: Payload, ctx: &mut ChareCtx<'_>) -> bool {
+        if !self.buffer.deliver(src, payload) {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(ControllerError::Runtime(format!(
+                    "unexpected delivery {src} -> {}",
+                    self.buffer.task().id
+                )));
+            }
+            // Retire so the run drains instead of stalling on a poisoned
+            // chare; the error sink carries the real failure out.
+            return true;
+        }
+        if !self.buffer.ready() {
+            return false;
+        }
+        // Execute: translate the chare id back into a task and run it.
+        let placeholder = InputBuffer::new(Task::new(TaskId::EXTERNAL, self.buffer.task().callback));
+        let buffer = std::mem::replace(&mut self.buffer, placeholder);
+        let (task, inputs) = buffer.take();
+        let outputs = (self.callback)(inputs, task.id);
+        if outputs.len() != task.fan_out() {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(ControllerError::BadOutputArity {
+                    task: task.id,
+                    expected: task.fan_out(),
+                    got: outputs.len(),
+                });
+            }
+            return true;
+        }
+        for (slot, payload) in outputs.into_iter().enumerate() {
+            for &dst in &task.outgoing[slot] {
+                if dst.is_external() {
+                    ctx.emit_external(task.id, payload.clone());
+                } else {
+                    ctx.send(dst.0, task.id, payload.clone());
+                }
+            }
+        }
+        true
+    }
+
+    fn footprint(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+impl Controller for CharmController {
+    fn run(
+        &mut self,
+        graph: &dyn TaskGraph,
+        _map: &dyn TaskMap, // the Charm++ runtime places chares itself
+        registry: &Registry,
+        initial: InitialInputs,
+    ) -> Result<RunReport> {
+        preflight(graph, registry, &initial)?;
+
+        let indices: Vec<u64> = graph.ids().iter().map(|id| id.0).collect();
+        let error: ErrorSink = Default::default();
+
+        let factory = {
+            let error = error.clone();
+            move |idx: u64| -> Box<dyn Chare> {
+                let task = graph.task(TaskId(idx)).expect("chare index is a task id");
+                let callback =
+                    registry.get(task.callback).expect("preflight checked bindings").clone();
+                Box::new(TaskChare {
+                    buffer: InputBuffer::new(task),
+                    callback,
+                    error: error.clone(),
+                })
+            }
+        };
+
+        let mut bootstrap = Vec::new();
+        for (task, payloads) in initial {
+            for p in payloads {
+                bootstrap.push((task.0, TaskId::EXTERNAL, p));
+            }
+        }
+
+        let rt = CharmRuntime::new(self.pes).with_lb(self.lb).with_timeout(self.timeout);
+        let result = rt.run(&indices, factory, bootstrap);
+
+        if let Some(err) = error.lock().take() {
+            return Err(err);
+        }
+
+        match result {
+            Ok((outputs, stats)) => {
+                let mut report = RunReport::default();
+                report.outputs = outputs;
+                report.stats.tasks_executed = stats.retired;
+                report.stats.local_messages = stats.local_messages;
+                report.stats.remote_messages = stats.cross_pe_messages;
+                Ok(report)
+            }
+            Err(pending) => Err(ControllerError::Deadlock {
+                pending: pending.into_iter().map(TaskId).collect(),
+            }),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "charm"
+    }
+}

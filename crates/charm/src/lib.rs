@@ -1,0 +1,128 @@
+//! # babelflow-charm
+//!
+//! Charm++-like backend for BabelFlow-RS: a chare-array runtime substrate
+//! ([`runtime`]) and the task-graph controller built on it
+//! ([`CharmController`], §IV-B of the paper). Tasks become migratable
+//! chares scheduled message-driven over processing elements, with optional
+//! periodic load balancing — no task map required.
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod runtime;
+
+pub use controller::CharmController;
+pub use runtime::{Chare, ChareCtx, CharmRuntime, CharmStats, LoadBalance};
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Duration;
+
+    use babelflow_core::{
+        canonical_outputs, run_serial, Blob, CallbackId, Controller, ModuloMap, Payload,
+        Registry, TaskGraph, TaskId,
+    };
+    use babelflow_graphs::{KWayMerge, Reduction};
+
+    use super::*;
+
+    fn val(p: &Payload) -> u64 {
+        u64::from_le_bytes(p.extract::<Blob>().unwrap().0.as_slice().try_into().unwrap())
+    }
+
+    fn pay(v: u64) -> Payload {
+        Payload::wrap(Blob(v.to_le_bytes().to_vec()))
+    }
+
+    fn sum_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(CallbackId(0), |inputs, _| vec![inputs[0].clone()]);
+        r.register(CallbackId(1), |inputs, _| vec![pay(inputs.iter().map(val).sum())]);
+        r.register(CallbackId(2), |inputs, _| {
+            vec![pay(inputs.iter().map(val).sum::<u64>() + 1000)]
+        });
+        r
+    }
+
+    #[test]
+    fn charm_matches_serial_on_reduction() {
+        let g = Reduction::new(16, 4);
+        let reg = sum_registry();
+        let inputs: HashMap<TaskId, Vec<Payload>> = g
+            .leaf_ids()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, vec![pay(i as u64)]))
+            .collect();
+        let serial = run_serial(&g, &reg, inputs.clone()).unwrap();
+        let map = ModuloMap::new(1, g.size() as u64); // ignored by charm
+        for pes in [1, 2, 4] {
+            let mut c = CharmController::new(pes);
+            let report = c.run(&g, &map, &reg, inputs.clone()).unwrap();
+            assert_eq!(canonical_outputs(&report), canonical_outputs(&serial), "pes={pes}");
+            assert_eq!(report.stats.tasks_executed, g.size() as u64);
+        }
+    }
+
+    #[test]
+    fn charm_with_lb_matches_serial_on_merge_dataflow() {
+        // The merge dataflow exercises fan-out broadcasts and multi-slot
+        // inputs under migration.
+        let g = KWayMerge::new(4, 2);
+        let mut reg = Registry::new();
+        let root_join = g.join_id(2, 0);
+        // local: boundary = v, local tree = v * 2
+        reg.register(CallbackId(0), |inputs, _| {
+            let v = val(&inputs[0]);
+            vec![pay(v), pay(v * 2)]
+        });
+        // join: merged boundary up + augmented broadcast; root broadcasts only.
+        reg.register(CallbackId(1), move |inputs, id| {
+            let s: u64 = inputs.iter().map(val).sum();
+            if id == root_join {
+                vec![pay(s)]
+            } else {
+                vec![pay(s), pay(s + 1)]
+            }
+        });
+        // correction: local' = local + augmented
+        reg.register(CallbackId(2), |inputs, _| {
+            vec![pay(val(&inputs[0]) + val(&inputs[1]))]
+        });
+        // segmentation: final
+        reg.register(CallbackId(3), |inputs, _| vec![pay(val(&inputs[0]) * 10)]);
+        // relay: forward
+        reg.register(CallbackId(4), |inputs, _| vec![inputs[0].clone()]);
+
+        let inputs: HashMap<TaskId, Vec<Payload>> = g
+            .leaf_ids()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, vec![pay(i as u64 + 1)]))
+            .collect();
+
+        let serial = run_serial(&g, &reg, inputs.clone()).unwrap();
+        let map = ModuloMap::new(1, g.size() as u64);
+        let mut c = CharmController::new(3)
+            .with_lb(LoadBalance::Periodic(Duration::from_millis(1)));
+        let report = c.run(&g, &map, &reg, inputs).unwrap();
+        assert_eq!(canonical_outputs(&report), canonical_outputs(&serial));
+    }
+
+    #[test]
+    fn missing_input_is_rejected_or_stalls() {
+        let g = Reduction::new(4, 2);
+        let reg = sum_registry();
+        let map = ModuloMap::new(1, g.size() as u64);
+        // One leaf gets an empty payload list: preflight rejects.
+        let mut inputs: HashMap<TaskId, Vec<Payload>> = HashMap::new();
+        let leaves = g.leaf_ids();
+        for (i, id) in leaves.iter().enumerate().skip(1) {
+            inputs.insert(*id, vec![pay(i as u64)]);
+        }
+        inputs.insert(leaves[0], vec![]);
+        let mut c = CharmController::new(2).with_timeout(Duration::from_millis(100));
+        assert!(c.run(&g, &map, &reg, inputs).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! A small, dependency-free binary codec.
+//!
+//! BabelFlow requires users to "provide deserialization/serialization
+//! routines for the objects that are exchanged between tasks". This module
+//! supplies the primitives those routines are written with: a little-endian
+//! [`Encoder`]/[`Decoder`] pair over flat byte buffers. It is deliberately
+//! minimal — no self-description, no versioning — because task payloads are
+//! always decoded by code compiled from the same crate graph.
+
+use bytes::{Bytes, BytesMut};
+
+/// Streaming little-endian encoder writing into a growable buffer.
+///
+/// The `put_*` methods are named after the type they write.
+#[allow(missing_docs)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+#[allow(missing_docs)]
+impl Encoder {
+    /// Create an encoder with a default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(64)
+    }
+
+    /// Create an encoder pre-sized for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Finish encoding and return the immutable buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.extend_from_slice(&[v]);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Write raw bytes with a length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a UTF-8 string with a length prefix.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Write a length-prefixed slice of `f32` values.
+    pub fn put_f32_slice(&mut self, v: &[f32]) {
+        self.put_usize(v.len());
+        self.buf.reserve(v.len() * 4);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Write a length-prefixed slice of `u64` values.
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_usize(v.len());
+        self.buf.reserve(v.len() * 8);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Error produced when a [`Decoder`] runs out of input or reads malformed
+/// data. Payload decoding failures indicate a bug in matching ser/de pairs,
+/// so controllers surface this as a hard error rather than a recoverable one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Human-readable context of the failed read.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Streaming little-endian decoder over a byte slice.
+///
+/// The `get_*` methods are named after the type they read.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+#[allow(missing_docs)]
+impl<'a> Decoder<'a> {
+    /// Start decoding from the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the full input has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+    }
+
+    pub fn get_i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_le_bytes(self.take(4, "i32")?.try_into().unwrap()))
+    }
+
+    pub fn get_f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_le_bytes(self.take(4, "f32")?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().unwrap()))
+    }
+
+    pub fn get_usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError { what: "usize overflow" })
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Read a length-prefixed byte slice (borrowed from the input).
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.get_usize()?;
+        self.take(n, "bytes body")
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| DecodeError { what: "utf8" })
+    }
+
+    /// Read a length-prefixed `f32` slice into a vector.
+    pub fn get_f32_vec(&mut self) -> Result<Vec<f32>, DecodeError> {
+        let n = self.get_usize()?;
+        let raw = self.take(n.checked_mul(4).ok_or(DecodeError { what: "f32 vec len" })?, "f32 vec body")?;
+        Ok(raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Read a length-prefixed `u64` slice into a vector.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let n = self.get_usize()?;
+        let raw = self.take(n.checked_mul(8).ok_or(DecodeError { what: "u64 vec len" })?, "u64 vec body")?;
+        Ok(raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xDEADBEEF);
+        e.put_u64(u64::MAX - 1);
+        e.put_i64(-42);
+        e.put_i32(-7);
+        e.put_f32(3.5);
+        e.put_f64(-2.25);
+        e.put_bool(true);
+        e.put_str("hello");
+        let buf = e.finish();
+
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.get_i64().unwrap(), -42);
+        assert_eq!(d.get_i32().unwrap(), -7);
+        assert_eq!(d.get_f32().unwrap(), 3.5);
+        assert_eq!(d.get_f64().unwrap(), -2.25);
+        assert!(d.get_bool().unwrap());
+        assert_eq!(d.get_str().unwrap(), "hello");
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn roundtrip_slices() {
+        let mut e = Encoder::new();
+        e.put_f32_slice(&[1.0, -2.0, 0.5]);
+        e.put_u64_slice(&[1, 2, 3, u64::MAX]);
+        e.put_bytes(b"\x00\x01\x02");
+        let buf = e.finish();
+
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_f32_vec().unwrap(), vec![1.0, -2.0, 0.5]);
+        assert_eq!(d.get_u64_vec().unwrap(), vec![1, 2, 3, u64::MAX]);
+        assert_eq!(d.get_bytes().unwrap(), b"\x00\x01\x02");
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut e = Encoder::new();
+        e.put_u64(5);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf[..4]);
+        assert!(d.get_u64().is_err());
+    }
+
+    #[test]
+    fn bad_utf8_errors() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xFF, 0xFE]);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert!(d.get_str().is_err());
+    }
+
+    #[test]
+    fn length_prefix_longer_than_input_errors() {
+        let mut e = Encoder::new();
+        e.put_usize(1000);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert!(d.get_bytes().is_err());
+    }
+
+    #[test]
+    fn empty_slices_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_f32_slice(&[]);
+        e.put_u64_slice(&[]);
+        e.put_str("");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_f32_vec().unwrap(), Vec::<f32>::new());
+        assert_eq!(d.get_u64_vec().unwrap(), Vec::<u64>::new());
+        assert_eq!(d.get_str().unwrap(), "");
+        assert!(d.is_done());
+    }
+}

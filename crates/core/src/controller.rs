@@ -1,0 +1,213 @@
+//! The runtime-controller interface.
+//!
+//! "All runtime controllers share the same interface by deriving from the
+//! same base class to make switching between controllers easy." In Rust the
+//! base class is the [`Controller`] trait: every backend — serial, MPI-like,
+//! Charm++-like, Legion-like, and the discrete-event simulator — implements
+//! `run`, so an algorithm written once against a [`TaskGraph`] executes on
+//! any of them unmodified.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::graph::TaskGraph;
+use crate::ids::{CallbackId, TaskId};
+use crate::payload::Payload;
+use crate::registry::Registry;
+use crate::taskmap::TaskMap;
+
+/// Initial inputs handed to the dataflow: for each task with external input
+/// slots, the payloads filling those slots in slot order.
+pub type InitialInputs = HashMap<TaskId, Vec<Payload>>;
+
+/// Everything a completed run returns to the host application.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Payloads the graph sent to [`TaskId::EXTERNAL`], keyed by producing
+    /// task (slot order preserved). `BTreeMap` so iteration order is
+    /// deterministic across runtimes — required by the cross-runtime
+    /// equivalence tests.
+    pub outputs: BTreeMap<TaskId, Vec<Payload>>,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+/// Counters every controller maintains; used by benchmarks and tests.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Tasks executed.
+    pub tasks_executed: u64,
+    /// Messages that crossed a shard boundary (serialized).
+    pub remote_messages: u64,
+    /// Bytes serialized for remote messages.
+    pub remote_bytes: u64,
+    /// Messages delivered within a shard (in-memory fast path).
+    pub local_messages: u64,
+}
+
+impl RunStats {
+    /// Fold another shard's counters into this one.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.tasks_executed += other.tasks_executed;
+        self.remote_messages += other.remote_messages;
+        self.remote_bytes += other.remote_bytes;
+        self.local_messages += other.local_messages;
+    }
+}
+
+/// Errors a controller can produce.
+///
+/// Payload type mismatches inside callbacks surface as panics (they are
+/// programming errors); these variants cover what a controller can detect
+/// up front or observe during execution.
+#[derive(Debug)]
+pub enum ControllerError {
+    /// The graph advertises callbacks the registry does not bind.
+    UnboundCallbacks(Vec<CallbackId>),
+    /// `initial` is missing inputs for a task with external input slots, or
+    /// supplies the wrong number of payloads.
+    BadInitialInputs {
+        /// The offending task.
+        task: TaskId,
+        /// External slots the task has.
+        expected: usize,
+        /// Payloads supplied.
+        got: usize,
+    },
+    /// A callback returned the wrong number of outputs.
+    BadOutputArity {
+        /// The executing task.
+        task: TaskId,
+        /// Output slots the task has.
+        expected: usize,
+        /// Payloads the callback returned.
+        got: usize,
+    },
+    /// The dataflow stalled: tasks remain but none can become ready. Either
+    /// the graph is cyclic or inputs never arrived.
+    Deadlock {
+        /// Tasks that never executed.
+        pending: Vec<TaskId>,
+    },
+    /// A backend-specific failure (e.g. a simulated-network fault injected
+    /// by a test).
+    Runtime(String),
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::UnboundCallbacks(ids) => {
+                write!(f, "unbound callbacks: {ids:?}")
+            }
+            ControllerError::BadInitialInputs { task, expected, got } => write!(
+                f,
+                "task {task} has {expected} external inputs but {got} payloads were supplied"
+            ),
+            ControllerError::BadOutputArity { task, expected, got } => write!(
+                f,
+                "callback for task {task} returned {got} outputs, graph expects {expected}"
+            ),
+            ControllerError::Deadlock { pending } => {
+                write!(f, "dataflow stalled with {} tasks pending", pending.len())
+            }
+            ControllerError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+/// Result alias for controller operations.
+pub type Result<T> = std::result::Result<T, ControllerError>;
+
+/// A runtime backend capable of executing task graphs.
+pub trait Controller {
+    /// Execute `graph` with tasks placed by `map`, implementations from
+    /// `registry`, and external inputs `initial`. Blocks until the dataflow
+    /// drains and returns the external outputs.
+    fn run(
+        &mut self,
+        graph: &dyn TaskGraph,
+        map: &dyn TaskMap,
+        registry: &Registry,
+        initial: InitialInputs,
+    ) -> Result<RunReport>;
+
+    /// Human-readable backend name (used in reports and benchmarks).
+    fn name(&self) -> &'static str;
+}
+
+/// Validate registry bindings and initial inputs before a run; shared by
+/// all controllers.
+pub fn preflight(
+    graph: &dyn TaskGraph,
+    registry: &Registry,
+    initial: &InitialInputs,
+) -> Result<()> {
+    let missing = registry.missing(&graph.callback_ids());
+    if !missing.is_empty() {
+        return Err(ControllerError::UnboundCallbacks(missing));
+    }
+    for id in graph.input_tasks() {
+        let task = graph.task(id).expect("input_tasks returned unknown id");
+        let expected = task.incoming.iter().filter(|t| t.is_external()).count();
+        let got = initial.get(&id).map_or(0, Vec::len);
+        if expected != got {
+            return Err(ControllerError::BadInitialInputs { task: id, expected, got });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExplicitGraph;
+    use crate::payload::Blob;
+    use crate::task::Task;
+
+    fn one_task_graph() -> ExplicitGraph {
+        let mut t = Task::new(TaskId(0), CallbackId(0));
+        t.incoming = vec![TaskId::EXTERNAL];
+        t.outgoing = vec![vec![TaskId::EXTERNAL]];
+        ExplicitGraph::new(vec![t], vec![CallbackId(0)])
+    }
+
+    #[test]
+    fn preflight_catches_unbound_callbacks() {
+        let g = one_task_graph();
+        let r = Registry::new();
+        let err = preflight(&g, &r, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, ControllerError::UnboundCallbacks(v) if v == vec![CallbackId(0)]));
+    }
+
+    #[test]
+    fn preflight_catches_missing_inputs() {
+        let g = one_task_graph();
+        let mut r = Registry::new();
+        r.register(CallbackId(0), |i, _| i);
+        let err = preflight(&g, &r, &HashMap::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            ControllerError::BadInitialInputs { task, expected: 1, got: 0 } if task == TaskId(0)
+        ));
+    }
+
+    #[test]
+    fn preflight_accepts_complete_setup() {
+        let g = one_task_graph();
+        let mut r = Registry::new();
+        r.register(CallbackId(0), |i, _| i);
+        let mut init = HashMap::new();
+        init.insert(TaskId(0), vec![Payload::wrap(Blob(vec![]))]);
+        assert!(preflight(&g, &r, &init).is_ok());
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = RunStats { tasks_executed: 1, remote_messages: 2, remote_bytes: 3, local_messages: 4 };
+        let b = RunStats { tasks_executed: 10, remote_messages: 20, remote_bytes: 30, local_messages: 40 };
+        a.merge(&b);
+        assert_eq!(a, RunStats { tasks_executed: 11, remote_messages: 22, remote_bytes: 33, local_messages: 44 });
+    }
+}

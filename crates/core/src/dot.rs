@@ -1,0 +1,141 @@
+//! Graphviz/Dot export of task graphs.
+//!
+//! "We provide the ability to draw the abstract task graph (or subsets of
+//! it) in Dot, a graph layout tool that makes debugging simple and
+//! intuitive." Figures 5, 7 and 8 of the paper are drawings of exactly
+//! these graphs; the `fig05`/`fig07`/`fig08` bench binaries emit them with
+//! this module.
+
+use std::fmt::Write as _;
+
+use crate::graph::TaskGraph;
+use crate::ids::{CallbackId, TaskId};
+
+/// Styling hook: maps a callback id to a node label prefix and fill color.
+pub type StyleFn<'a> = dyn Fn(CallbackId) -> (&'static str, &'static str) + 'a;
+
+fn default_style(cb: CallbackId) -> (&'static str, &'static str) {
+    const PALETTE: [&str; 6] =
+        ["#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462"];
+    ("", PALETTE[cb.0 as usize % PALETTE.len()])
+}
+
+/// Render the whole graph to Dot with default styling.
+pub fn to_dot(graph: &dyn TaskGraph) -> String {
+    to_dot_styled(graph, &default_style)
+}
+
+/// Render the whole graph to Dot, labeling/coloring nodes via `style`.
+pub fn to_dot_styled(graph: &dyn TaskGraph, style: &StyleFn<'_>) -> String {
+    to_dot_subset(graph, &graph.ids(), style)
+}
+
+/// Render a subset of tasks (e.g. one shard's local graph). Edges to tasks
+/// outside the subset are drawn to ghost nodes; external inputs/outputs are
+/// drawn as point nodes.
+pub fn to_dot_subset(graph: &dyn TaskGraph, ids: &[TaskId], style: &StyleFn<'_>) -> String {
+    let subset: std::collections::HashSet<TaskId> = ids.iter().copied().collect();
+    let mut out = String::new();
+    let mut ext = 0usize;
+
+    out.push_str("digraph taskgraph {\n");
+    out.push_str("  rankdir=TB;\n  node [shape=circle, style=filled];\n");
+
+    for &id in ids {
+        let Some(task) = graph.task(id) else { continue };
+        let (prefix, color) = style(task.callback);
+        let label = if prefix.is_empty() {
+            format!("{id}")
+        } else {
+            format!("{prefix}\\n{id}")
+        };
+        let _ = writeln!(out, "  t{id} [label=\"{label}\", fillcolor=\"{color}\"];", id = id.0);
+
+        for (slot, dsts) in task.outgoing.iter().enumerate() {
+            for &dst in dsts {
+                if dst.is_external() {
+                    let _ = writeln!(out, "  ext{ext} [shape=point];");
+                    let _ = writeln!(out, "  t{} -> ext{ext} [label=\"{slot}\"];", id.0);
+                    ext += 1;
+                } else if subset.contains(&dst) {
+                    let _ = writeln!(out, "  t{} -> t{} [label=\"{slot}\"];", id.0, dst.0);
+                } else {
+                    // Ghost: consumer on another shard.
+                    let _ = writeln!(
+                        out,
+                        "  g{d} [label=\"{d}\", style=dashed, shape=circle];",
+                        d = dst.0
+                    );
+                    let _ = writeln!(out, "  t{} -> g{} [style=dashed];", id.0, dst.0);
+                }
+            }
+        }
+        for &src in &task.incoming {
+            if src.is_external() {
+                let _ = writeln!(out, "  ext{ext} [shape=point];");
+                let _ = writeln!(out, "  ext{ext} -> t{};", id.0);
+                ext += 1;
+            }
+        }
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExplicitGraph;
+    use crate::task::Task;
+
+    fn tiny() -> ExplicitGraph {
+        let mut a = Task::new(TaskId(0), CallbackId(0));
+        a.incoming = vec![TaskId::EXTERNAL];
+        a.outgoing = vec![vec![TaskId(1)]];
+        let mut b = Task::new(TaskId(1), CallbackId(1));
+        b.incoming = vec![TaskId(0)];
+        b.outgoing = vec![vec![TaskId::EXTERNAL]];
+        ExplicitGraph::new(vec![a, b], vec![CallbackId(0), CallbackId(1)])
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let dot = to_dot(&tiny());
+        assert!(dot.starts_with("digraph taskgraph {"));
+        assert!(dot.contains("t0 ["));
+        assert!(dot.contains("t1 ["));
+        assert!(dot.contains("t0 -> t1"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn external_endpoints_drawn_as_points() {
+        let dot = to_dot(&tiny());
+        assert!(dot.contains("ext0 [shape=point]"));
+        assert!(dot.contains("-> t0;")); // external feeds t0
+    }
+
+    #[test]
+    fn subset_draws_ghosts_for_remote_consumers() {
+        let g = tiny();
+        let dot = to_dot_subset(&g, &[TaskId(0)], &|_| ("", "white"));
+        assert!(dot.contains("g1 ["));
+        assert!(dot.contains("t0 -> g1"));
+        assert!(!dot.contains("t1 ["));
+    }
+
+    #[test]
+    fn custom_style_labels() {
+        let dot = to_dot_styled(&tiny(), &|cb| {
+            if cb == CallbackId(0) {
+                ("leaf", "red")
+            } else {
+                ("root", "blue")
+            }
+        });
+        assert!(dot.contains("leaf\\n0"));
+        assert!(dot.contains("root\\n1"));
+        assert!(dot.contains("fillcolor=\"red\""));
+    }
+}

@@ -1,0 +1,117 @@
+//! Execution helpers shared by runtime backends.
+//!
+//! Every controller — MPI-like, Charm++-like, Legion-like, simulator —
+//! needs the same bookkeeping: buffer arriving payloads into a task's input
+//! slots and detect readiness. [`InputBuffer`] centralizes it so the
+//! backends differ only in scheduling and transport, which is the paper's
+//! point.
+
+use crate::ids::TaskId;
+use crate::payload::Payload;
+use crate::task::Task;
+
+/// Input-slot buffer for one pending task instance.
+#[derive(Debug)]
+pub struct InputBuffer {
+    task: Task,
+    slots: Vec<Option<Payload>>,
+    missing: usize,
+}
+
+impl InputBuffer {
+    /// Create an empty buffer for `task`.
+    pub fn new(task: Task) -> Self {
+        let n = task.fan_in();
+        InputBuffer { task, slots: (0..n).map(|_| None).collect(), missing: n }
+    }
+
+    /// The buffered task description.
+    pub fn task(&self) -> &Task {
+        &self.task
+    }
+
+    /// Deliver a payload from `src` into the first free slot wired to it.
+    /// Returns `false` if no such slot exists or all are filled — which a
+    /// correct dataflow never does, so callers treat it as a protocol
+    /// violation (e.g. a duplicated message).
+    pub fn deliver(&mut self, src: TaskId, payload: Payload) -> bool {
+        for slot in self.task.input_slots_from(src).collect::<Vec<_>>() {
+            if self.slots[slot].is_none() {
+                self.slots[slot] = Some(payload);
+                self.missing -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether all input slots are filled.
+    pub fn ready(&self) -> bool {
+        self.missing == 0
+    }
+
+    /// Number of still-empty slots.
+    pub fn missing(&self) -> usize {
+        self.missing
+    }
+
+    /// Consume the buffer, returning the task and its inputs in slot order.
+    ///
+    /// # Panics
+    /// If the buffer is not [`ready`](Self::ready).
+    pub fn take(self) -> (Task, Vec<Payload>) {
+        assert!(self.missing == 0, "take() on task {} with {} inputs missing", self.task.id, self.missing);
+        let inputs = self.slots.into_iter().map(|p| p.expect("ready buffer")).collect();
+        (self.task, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CallbackId;
+    use crate::payload::Blob;
+
+    fn task_with_inputs(srcs: &[u64]) -> Task {
+        let mut t = Task::new(TaskId(9), CallbackId(0));
+        t.incoming = srcs.iter().map(|&s| TaskId(s)).collect();
+        t
+    }
+
+    #[test]
+    fn fills_in_slot_order_per_source() {
+        let mut b = InputBuffer::new(task_with_inputs(&[1, 2, 1]));
+        assert!(!b.ready());
+        assert!(b.deliver(TaskId(1), Payload::wrap(Blob(vec![10]))));
+        assert!(b.deliver(TaskId(1), Payload::wrap(Blob(vec![11]))));
+        assert!(b.deliver(TaskId(2), Payload::wrap(Blob(vec![20]))));
+        assert!(b.ready());
+        let (_, inputs) = b.take();
+        let vals: Vec<u8> = inputs.iter().map(|p| p.extract::<Blob>().unwrap().0[0]).collect();
+        assert_eq!(vals, vec![10, 20, 11]);
+    }
+
+    #[test]
+    fn rejects_unknown_source_and_overflow() {
+        let mut b = InputBuffer::new(task_with_inputs(&[1]));
+        assert!(!b.deliver(TaskId(5), Payload::wrap(Blob(vec![]))));
+        assert!(b.deliver(TaskId(1), Payload::wrap(Blob(vec![]))));
+        // Second delivery from the same source has nowhere to go.
+        assert!(!b.deliver(TaskId(1), Payload::wrap(Blob(vec![]))));
+    }
+
+    #[test]
+    fn zero_input_task_is_immediately_ready() {
+        let b = InputBuffer::new(task_with_inputs(&[]));
+        assert!(b.ready());
+        let (t, inputs) = b.take();
+        assert_eq!(t.id, TaskId(9));
+        assert!(inputs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs missing")]
+    fn take_before_ready_panics() {
+        InputBuffer::new(task_with_inputs(&[1])).take();
+    }
+}

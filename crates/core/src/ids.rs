@@ -1,0 +1,123 @@
+//! Strongly typed identifiers used throughout the EDSL.
+//!
+//! The paper describes logical tasks carrying "a globally unique task id,
+//! task ids of tasks that will provide inputs and receive outputs and a task
+//! type identifying which callback to use", with "special task ids reserved
+//! for external inputs". We reserve the maximal `u64` for that purpose.
+
+use std::fmt;
+
+/// Globally unique identifier of a logical task within a task graph.
+///
+/// Ids need not be contiguous — composed graphs use disjoint prefix ranges
+/// for their phases — but the provided prototypical graphs number their
+/// tasks densely in `0..size()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// Sentinel marking an edge endpoint outside the graph: an input fed by
+    /// the host application (e.g. a simulation block) or an output consumed
+    /// by it (e.g. the final image).
+    pub const EXTERNAL: TaskId = TaskId(u64::MAX);
+
+    /// Whether this id is the external-endpoint sentinel.
+    #[inline]
+    pub fn is_external(self) -> bool {
+        self == Self::EXTERNAL
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_external() {
+            write!(f, "TaskId(EXT)")
+        } else {
+            write!(f, "TaskId({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_external() {
+            write!(f, "EXT")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<u64> for TaskId {
+    fn from(v: u64) -> Self {
+        TaskId(v)
+    }
+}
+
+/// Identifier of a *task type*: selects which user callback a task runs.
+///
+/// A task graph advertises the callback ids it uses via
+/// [`TaskGraph::callback_ids`](crate::graph::TaskGraph::callback_ids); the
+/// user binds an implementation to each id in a [`Registry`](crate::Registry).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CallbackId(pub u32);
+
+impl fmt::Display for CallbackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cb{}", self.0)
+    }
+}
+
+impl From<u32> for CallbackId {
+    fn from(v: u32) -> Self {
+        CallbackId(v)
+    }
+}
+
+/// Identifier of an execution shard.
+///
+/// A shard is the unit the static runtimes distribute work over: an MPI
+/// rank, a Legion SPMD shard, or a virtual processor of the simulator. The
+/// Charm++ backend ignores shards (the runtime places chares itself).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ShardId(pub u32);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+impl From<u32> for ShardId {
+    fn from(v: u32) -> Self {
+        ShardId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_sentinel_is_max() {
+        assert!(TaskId::EXTERNAL.is_external());
+        assert!(!TaskId(0).is_external());
+        assert!(!TaskId(u64::MAX - 1).is_external());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TaskId(7).to_string(), "7");
+        assert_eq!(TaskId::EXTERNAL.to_string(), "EXT");
+        assert_eq!(CallbackId(2).to_string(), "cb2");
+        assert_eq!(ShardId(3).to_string(), "shard3");
+    }
+
+    #[test]
+    fn ordering_and_conversion() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(TaskId::from(5u64), TaskId(5));
+        assert_eq!(CallbackId::from(5u32), CallbackId(5));
+        assert_eq!(ShardId::from(5u32), ShardId(5));
+    }
+}

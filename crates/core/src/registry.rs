@@ -1,0 +1,137 @@
+//! Callback registry: binds task types to user implementations.
+//!
+//! The third of the user's "three basic steps": "the implementations of the
+//! tasks are connected to the task graph by registering the corresponding
+//! callbacks". A callback receives the task's inputs (one payload per input
+//! slot, in slot order) and must return exactly one payload per output slot.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ids::{CallbackId, TaskId};
+use crate::payload::Payload;
+
+/// A task implementation.
+///
+/// Mirrors the paper's signature
+/// `int task(vector<Payload>& in, vector<Payload>& out, TaskId id)`:
+/// inputs in slot order, the executing task's id (so one callback can serve
+/// many tasks, parameterized by id), and the outputs as the return value.
+/// Callbacks must be idempotent and hold no persistent state — "the task
+/// graph assumes idempotent tasks with no persistent state".
+pub type Callback = Arc<dyn Fn(Vec<Payload>, TaskId) -> Vec<Payload> + Send + Sync>;
+
+/// Mapping from [`CallbackId`] to [`Callback`]. Cloneable and cheap to share
+/// across shards/threads.
+#[derive(Clone, Default)]
+pub struct Registry {
+    callbacks: HashMap<CallbackId, Callback>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `cb` to the implementation `f`, replacing any previous binding.
+    pub fn register<F>(&mut self, cb: CallbackId, f: F) -> &mut Self
+    where
+        F: Fn(Vec<Payload>, TaskId) -> Vec<Payload> + Send + Sync + 'static,
+    {
+        self.callbacks.insert(cb, Arc::new(f));
+        self
+    }
+
+    /// Bind an already-shared callback.
+    pub fn register_arc(&mut self, cb: CallbackId, f: Callback) -> &mut Self {
+        self.callbacks.insert(cb, f);
+        self
+    }
+
+    /// Look up the implementation for a callback id.
+    pub fn get(&self, cb: CallbackId) -> Option<&Callback> {
+        self.callbacks.get(&cb)
+    }
+
+    /// Whether every id in `ids` has a binding; returns missing ids.
+    pub fn missing(&self, ids: &[CallbackId]) -> Vec<CallbackId> {
+        ids.iter().copied().filter(|id| !self.callbacks.contains_key(id)).collect()
+    }
+
+    /// Number of registered callbacks.
+    pub fn len(&self) -> usize {
+        self.callbacks.len()
+    }
+
+    /// Whether no callbacks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.callbacks.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut ids: Vec<_> = self.callbacks.keys().collect();
+        ids.sort();
+        f.debug_struct("Registry").field("callbacks", &ids).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Blob;
+    use crate::payload::PayloadData;
+
+    #[test]
+    fn register_and_invoke() {
+        let mut r = Registry::new();
+        r.register(CallbackId(1), |inputs, id| {
+            assert_eq!(id, TaskId(7));
+            assert_eq!(inputs.len(), 1);
+            vec![Payload::wrap(Blob(vec![42]))]
+        });
+        let cb = r.get(CallbackId(1)).unwrap();
+        let out = cb(vec![Payload::wrap(Blob(vec![]))], TaskId(7));
+        assert_eq!(out.len(), 1);
+        assert_eq!(*out[0].extract::<Blob>().unwrap(), Blob(vec![42]));
+    }
+
+    #[test]
+    fn missing_reports_unbound_ids() {
+        let mut r = Registry::new();
+        r.register(CallbackId(0), |_, _| vec![]);
+        assert_eq!(r.missing(&[CallbackId(0), CallbackId(1)]), vec![CallbackId(1)]);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut r = Registry::new();
+        r.register(CallbackId(0), |_, _| vec![Payload::wrap(Blob(vec![1]))]);
+        r.register(CallbackId(0), |_, _| vec![Payload::wrap(Blob(vec![2]))]);
+        let out = r.get(CallbackId(0)).unwrap()(vec![], TaskId(0));
+        assert_eq!(*out[0].extract::<Blob>().unwrap(), Blob(vec![2]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn callbacks_see_buffered_inputs_transparently() {
+        // A callback written against extract() works whether the payload
+        // arrived in memory or serialized — transport independence.
+        let mut r = Registry::new();
+        r.register(CallbackId(0), |inputs, _| {
+            let b = inputs[0].extract::<Blob>().unwrap();
+            vec![Payload::wrap(Blob(b.0.iter().map(|x| x + 1).collect()))]
+        });
+        let cb = r.get(CallbackId(0)).unwrap().clone();
+        let mem = cb(vec![Payload::wrap(Blob(vec![1]))], TaskId(0));
+        let wire = cb(vec![Payload::buffer(Blob(vec![1]).encode())], TaskId(0));
+        assert_eq!(
+            *mem[0].extract::<Blob>().unwrap(),
+            *wire[0].extract::<Blob>().unwrap()
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Task-graph statistics: the structural numbers that determine how a
+//! graph behaves on each runtime.
+//!
+//! The paper frames BabelFlow as "a flexible test bed to experiment with
+//! different strategies to use various runtimes"; these summaries are the
+//! first thing to look at when a graph behaves differently across
+//! backends — depth bounds the critical path, fan-in/out bound message
+//! pressure, width per level bounds achievable parallelism.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::TaskGraph;
+use crate::ids::{CallbackId, TaskId};
+
+/// Structural summary of a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Total tasks.
+    pub tasks: usize,
+    /// Total internal edges (one per (producer, consumer, occurrence)).
+    pub edges: usize,
+    /// Tasks with external inputs.
+    pub inputs: usize,
+    /// Tasks with external outputs.
+    pub outputs: usize,
+    /// Longest dependency chain (number of levels).
+    pub depth: usize,
+    /// Largest number of tasks on one level (peak parallelism).
+    pub max_width: usize,
+    /// Largest input fan-in of any task.
+    pub max_fan_in: usize,
+    /// Largest total fan-out (sum over output slots) of any task.
+    pub max_fan_out: usize,
+    /// Tasks per callback id.
+    pub per_callback: Vec<(CallbackId, usize)>,
+}
+
+/// Compute [`GraphStats`] (materializes the graph; intended for tooling
+/// and tests, not hot paths).
+pub fn graph_stats(graph: &dyn TaskGraph) -> GraphStats {
+    let ids = graph.ids();
+    let tasks: Vec<_> = ids.iter().filter_map(|&id| graph.task(id)).collect();
+    let index: HashMap<TaskId, usize> =
+        tasks.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+
+    let mut edges = 0usize;
+    let mut max_fan_in = 0usize;
+    let mut max_fan_out = 0usize;
+    let mut inputs = 0usize;
+    let mut outputs = 0usize;
+    let mut per_callback: HashMap<CallbackId, usize> = HashMap::new();
+
+    for t in &tasks {
+        *per_callback.entry(t.callback).or_default() += 1;
+        max_fan_in = max_fan_in.max(t.fan_in());
+        let fan_out: usize = t.outgoing.iter().map(Vec::len).sum();
+        max_fan_out = max_fan_out.max(fan_out);
+        edges += t
+            .outgoing
+            .iter()
+            .flatten()
+            .filter(|d| !d.is_external())
+            .count();
+        inputs += usize::from(t.has_external_input());
+        outputs += usize::from(t.has_external_output());
+    }
+
+    // Levelize for depth and width.
+    let mut indeg: Vec<usize> = tasks
+        .iter()
+        .map(|t| t.incoming.iter().filter(|s| !s.is_external()).count())
+        .collect();
+    let mut level = vec![0usize; tasks.len()];
+    let mut queue: VecDeque<usize> =
+        (0..tasks.len()).filter(|&i| indeg[i] == 0).collect();
+    while let Some(i) = queue.pop_front() {
+        for dsts in &tasks[i].outgoing {
+            for dst in dsts {
+                if dst.is_external() {
+                    continue;
+                }
+                let j = index[dst];
+                level[j] = level[j].max(level[i] + 1);
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push_back(j);
+                }
+            }
+        }
+    }
+    let depth = level.iter().copied().max().map_or(0, |m| m + 1);
+    let mut width = vec![0usize; depth.max(1)];
+    for &l in &level {
+        width[l] += 1;
+    }
+    let max_width = width.into_iter().max().unwrap_or(0);
+
+    let mut per_callback: Vec<(CallbackId, usize)> = per_callback.into_iter().collect();
+    per_callback.sort();
+
+    GraphStats {
+        tasks: tasks.len(),
+        edges,
+        inputs,
+        outputs,
+        depth,
+        max_width,
+        max_fan_in,
+        max_fan_out,
+        per_callback,
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} tasks, {} edges, depth {}, max width {}",
+            self.tasks, self.edges, self.depth, self.max_width
+        )?;
+        writeln!(
+            f,
+            "inputs {}, outputs {}, max fan-in {}, max fan-out {}",
+            self.inputs, self.outputs, self.max_fan_in, self.max_fan_out
+        )?;
+        for (cb, n) in &self.per_callback {
+            writeln!(f, "  {cb}: {n} tasks")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExplicitGraph;
+    use crate::task::Task;
+
+    fn diamond() -> ExplicitGraph {
+        let mut t0 = Task::new(TaskId(0), CallbackId(0));
+        t0.incoming = vec![TaskId::EXTERNAL];
+        t0.outgoing = vec![vec![TaskId(1), TaskId(2)]];
+        let mut t1 = Task::new(TaskId(1), CallbackId(1));
+        t1.incoming = vec![TaskId(0)];
+        t1.outgoing = vec![vec![TaskId(3)]];
+        let mut t2 = Task::new(TaskId(2), CallbackId(1));
+        t2.incoming = vec![TaskId(0)];
+        t2.outgoing = vec![vec![TaskId(3)]];
+        let mut t3 = Task::new(TaskId(3), CallbackId(2));
+        t3.incoming = vec![TaskId(1), TaskId(2)];
+        t3.outgoing = vec![vec![TaskId::EXTERNAL]];
+        ExplicitGraph::new(
+            vec![t0, t1, t2, t3],
+            vec![CallbackId(0), CallbackId(1), CallbackId(2)],
+        )
+    }
+
+    #[test]
+    fn diamond_stats() {
+        let s = graph_stats(&diamond());
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.max_width, 2);
+        assert_eq!(s.max_fan_in, 2);
+        assert_eq!(s.max_fan_out, 2);
+        assert_eq!(s.inputs, 1);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(
+            s.per_callback,
+            vec![(CallbackId(0), 1), (CallbackId(1), 2), (CallbackId(2), 1)]
+        );
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let text = graph_stats(&diamond()).to_string();
+        assert!(text.contains("4 tasks"));
+        assert!(text.contains("depth 3"));
+        assert!(text.contains("cb1: 2 tasks"));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = ExplicitGraph::new(vec![], vec![]);
+        let s = graph_stats(&g);
+        assert_eq!(s.tasks, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.max_width, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Logical tasks: the nodes of a task graph.
+
+use crate::ids::{CallbackId, TaskId};
+
+/// A logical task, as returned by
+/// [`TaskGraph::task`](crate::graph::TaskGraph::task).
+///
+/// A task stores everything the paper requires of the abstraction: its
+/// globally unique id, the ids of the tasks providing its inputs
+/// (`incoming`, one entry per input slot), the destinations of each of its
+/// outputs (`outgoing`, one fan-out set per output slot) and the
+/// [`CallbackId`] identifying the user function to run.
+///
+/// [`TaskId::EXTERNAL`] in `incoming` marks an input supplied by the host
+/// application; in `outgoing` it marks an output returned to the host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// Globally unique id of this task.
+    pub id: TaskId,
+    /// Which user callback executes this task.
+    pub callback: CallbackId,
+    /// Producer of each input slot, in slot order.
+    pub incoming: Vec<TaskId>,
+    /// Consumers of each output slot: `outgoing[s]` lists every task that
+    /// receives output slot `s`.
+    pub outgoing: Vec<Vec<TaskId>>,
+}
+
+impl Task {
+    /// Create a task with no edges; builders then push edges.
+    pub fn new(id: TaskId, callback: CallbackId) -> Self {
+        Task { id, callback, incoming: Vec::new(), outgoing: Vec::new() }
+    }
+
+    /// Number of input slots.
+    pub fn fan_in(&self) -> usize {
+        self.incoming.len()
+    }
+
+    /// Number of output slots.
+    pub fn fan_out(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// Whether any input comes from the host application.
+    pub fn has_external_input(&self) -> bool {
+        self.incoming.iter().any(|t| t.is_external())
+    }
+
+    /// Whether any output is returned to the host application.
+    pub fn has_external_output(&self) -> bool {
+        self.outgoing.iter().flatten().any(|t| t.is_external())
+    }
+
+    /// Input slot indices fed by the given producer.
+    ///
+    /// Controllers use this to route an arriving message (which carries its
+    /// source task id) to the right input slot. Multiple slots may share a
+    /// producer (e.g. binary swap partners exchange two halves); the
+    /// controller fills them in order of arrival.
+    pub fn input_slots_from(&self, src: TaskId) -> impl Iterator<Item = usize> + '_ {
+        self.incoming
+            .iter()
+            .enumerate()
+            .filter(move |(_, &p)| p == src)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_and_external_flags() {
+        let mut t = Task::new(TaskId(3), CallbackId(0));
+        assert_eq!(t.fan_in(), 0);
+        assert_eq!(t.fan_out(), 0);
+        assert!(!t.has_external_input());
+        assert!(!t.has_external_output());
+
+        t.incoming = vec![TaskId::EXTERNAL, TaskId(1)];
+        t.outgoing = vec![vec![TaskId(4), TaskId(5)], vec![TaskId::EXTERNAL]];
+        assert_eq!(t.fan_in(), 2);
+        assert_eq!(t.fan_out(), 2);
+        assert!(t.has_external_input());
+        assert!(t.has_external_output());
+    }
+
+    #[test]
+    fn input_slot_routing() {
+        let mut t = Task::new(TaskId(0), CallbackId(0));
+        t.incoming = vec![TaskId(7), TaskId(8), TaskId(7)];
+        let slots: Vec<usize> = t.input_slots_from(TaskId(7)).collect();
+        assert_eq!(slots, vec![0, 2]);
+        assert_eq!(t.input_slots_from(TaskId(9)).count(), 0);
+    }
+}

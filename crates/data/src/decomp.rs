@@ -1,0 +1,200 @@
+//! Block decomposition of 3D grids, with ghost layers.
+//!
+//! Distributed analysis starts from "block decomposed data": the domain is
+//! split into a grid of blocks, one per leaf task. Merge-tree construction
+//! needs one layer of shared vertices between adjacent blocks (so boundary
+//! trees can be glued), which [`BlockDecomp::block_with_overlap`] provides.
+
+use crate::grid::{Grid3, Idx3};
+
+/// A regular decomposition of a `dims` grid into `blocks` blocks per axis.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockDecomp {
+    /// Global grid extent.
+    pub dims: Idx3,
+    /// Number of blocks along each axis.
+    pub blocks: Idx3,
+}
+
+/// One block of a decomposition.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Block coordinates within the decomposition.
+    pub coords: Idx3,
+    /// Global origin of this block's data (including any overlap).
+    pub origin: Idx3,
+    /// The block's samples.
+    pub grid: Grid3,
+}
+
+impl BlockDecomp {
+    /// Decompose `dims` into `blocks` per axis.
+    ///
+    /// # Panics
+    /// If any axis has zero blocks or more blocks than points.
+    pub fn new(dims: impl Into<Idx3>, blocks: impl Into<Idx3>) -> Self {
+        let (dims, blocks) = (dims.into(), blocks.into());
+        assert!(blocks.x > 0 && blocks.y > 0 && blocks.z > 0, "need at least one block per axis");
+        assert!(
+            blocks.x <= dims.x && blocks.y <= dims.y && blocks.z <= dims.z,
+            "more blocks than grid points"
+        );
+        BlockDecomp { dims, blocks }
+    }
+
+    /// Total number of blocks.
+    pub fn count(&self) -> usize {
+        self.blocks.volume()
+    }
+
+    /// Block coordinates of linear block id (x fastest).
+    pub fn coords(&self, id: usize) -> Idx3 {
+        debug_assert!(id < self.count());
+        Idx3 {
+            x: id % self.blocks.x,
+            y: (id / self.blocks.x) % self.blocks.y,
+            z: id / (self.blocks.x * self.blocks.y),
+        }
+    }
+
+    /// Linear block id of block coordinates.
+    pub fn id(&self, coords: Idx3) -> usize {
+        (coords.z * self.blocks.y + coords.y) * self.blocks.x + coords.x
+    }
+
+    fn axis_range(extent: usize, nblocks: usize, b: usize) -> (usize, usize) {
+        // Even split with remainder spread over the first blocks.
+        let base = extent / nblocks;
+        let rem = extent % nblocks;
+        let lo = b * base + b.min(rem);
+        let len = base + usize::from(b < rem);
+        (lo, len)
+    }
+
+    /// The half-open global range `[origin, origin + size)` of block `id`,
+    /// without overlap.
+    pub fn range(&self, id: usize) -> (Idx3, Idx3) {
+        let c = self.coords(id);
+        let (ox, sx) = Self::axis_range(self.dims.x, self.blocks.x, c.x);
+        let (oy, sy) = Self::axis_range(self.dims.y, self.blocks.y, c.y);
+        let (oz, sz) = Self::axis_range(self.dims.z, self.blocks.z, c.z);
+        (Idx3::new(ox, oy, oz), Idx3::new(sx, sy, sz))
+    }
+
+    /// Extract block `id` from the global grid, without overlap.
+    pub fn block(&self, global: &Grid3, id: usize) -> Block {
+        assert_eq!(global.dims, self.dims, "grid does not match decomposition");
+        let (origin, size) = self.range(id);
+        Block { coords: self.coords(id), origin, grid: global.crop(origin, size) }
+    }
+
+    /// Extract block `id` extended by one layer of samples shared with the
+    /// succeeding block on each axis (where one exists). Adjacent blocks
+    /// thus share a face of vertices — the gluing boundary for merge-tree
+    /// joins.
+    pub fn block_with_overlap(&self, global: &Grid3, id: usize) -> Block {
+        assert_eq!(global.dims, self.dims, "grid does not match decomposition");
+        let (origin, mut size) = self.range(id);
+        let c = self.coords(id);
+        if c.x + 1 < self.blocks.x {
+            size.x += 1;
+        }
+        if c.y + 1 < self.blocks.y {
+            size.y += 1;
+        }
+        if c.z + 1 < self.blocks.z {
+            size.z += 1;
+        }
+        Block { coords: c, origin, grid: global.crop(origin, size) }
+    }
+}
+
+impl Block {
+    /// Global linear vertex id of local coordinates, given the global
+    /// extent. Merge trees use global vertex ids so boundary trees from
+    /// different blocks can be glued by identity.
+    pub fn global_vertex(&self, global_dims: Idx3, x: usize, y: usize, z: usize) -> u64 {
+        let gx = self.origin.x + x;
+        let gy = self.origin.y + y;
+        let gz = self.origin.z + z;
+        ((gz * global_dims.y + gy) * global_dims.x + gx) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_domain_exactly() {
+        for (dims, blocks) in [
+            ((8, 8, 8), (2, 2, 2)),
+            ((7, 5, 3), (3, 2, 1)),
+            ((10, 10, 10), (1, 1, 1)),
+        ] {
+            let d = BlockDecomp::new(dims, blocks);
+            let mut covered = vec![false; Idx3::from(dims).volume()];
+            let g = Grid3::zeros(dims);
+            for id in 0..d.count() {
+                let (o, s) = d.range(id);
+                for z in o.z..o.z + s.z {
+                    for y in o.y..o.y + s.y {
+                        for x in o.x..o.x + s.x {
+                            let i = g.index(x, y, z);
+                            assert!(!covered[i], "overlap at ({x},{y},{z})");
+                            covered[i] = true;
+                        }
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "{dims:?} {blocks:?} not covered");
+        }
+    }
+
+    #[test]
+    fn coords_id_roundtrip() {
+        let d = BlockDecomp::new((8, 8, 8), (2, 3, 4));
+        for id in 0..d.count() {
+            assert_eq!(d.id(d.coords(id)), id);
+        }
+    }
+
+    #[test]
+    fn overlap_blocks_share_faces() {
+        let g = Grid3::from_fn((4, 4, 1), |x, y, _| (x + 10 * y) as f32);
+        let d = BlockDecomp::new((4, 4, 1), (2, 1, 1));
+        let b0 = d.block_with_overlap(&g, 0);
+        let b1 = d.block_with_overlap(&g, 1);
+        // Block 0 covers x in [0,2] (incl. overlap), block 1 x in [2,4).
+        assert_eq!(b0.grid.dims.x, 3);
+        assert_eq!(b1.grid.dims.x, 2);
+        // The shared face: b0's x=2 column equals b1's x=0 column.
+        for y in 0..4 {
+            assert_eq!(b0.grid.at(2, y, 0), b1.grid.at(0, y, 0));
+        }
+    }
+
+    #[test]
+    fn global_vertex_ids_agree_on_shared_face() {
+        let g = Grid3::zeros((4, 4, 4));
+        let d = BlockDecomp::new((4, 4, 4), (2, 1, 1));
+        let b0 = d.block_with_overlap(&g, 0);
+        let b1 = d.block_with_overlap(&g, 1);
+        let dims = Idx3::new(4, 4, 4);
+        // b0 local (2, 1, 1) is global (2,1,1); b1 local (0,1,1) also.
+        assert_eq!(b0.global_vertex(dims, 2, 1, 1), b1.global_vertex(dims, 0, 1, 1));
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder() {
+        let d = BlockDecomp::new((7, 1, 1), (3, 1, 1));
+        let sizes: Vec<usize> = (0..3).map(|i| d.range(i).1.x).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more blocks than grid points")]
+    fn too_many_blocks_rejected() {
+        BlockDecomp::new((2, 2, 2), (3, 1, 1));
+    }
+}

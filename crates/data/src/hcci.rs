@@ -1,0 +1,189 @@
+//! Synthetic HCCI combustion proxy dataset.
+//!
+//! The paper's topology and rendering studies use "the output of a
+//! large-scale simulation of the autoignition in a Homogeneous-Charge
+//! Compression Ignition (HCCI) engine", whose salient structure is a
+//! periodic scalar field with many disjoint high-value ignition kernels
+//! distributed roughly uniformly through the domain (Fig. 4). That dataset
+//! is not redistributable, so this generator builds the closest synthetic
+//! equivalent: a periodic sum of Gaussian "ignition kernels" at seeded
+//! random positions over a band-limited background noise field.
+//!
+//! What the substitution preserves:
+//! * many separated local maxima → the merge tree has many features and
+//!   the per-block feature count varies → the natural load imbalance the
+//!   paper attributes its Fig. 6 asymmetry to;
+//! * periodicity → `Grid3::replicate` inflation remains a faithful proxy,
+//!   exactly as the paper argues for its own replication;
+//! * complex geometry interspersed with near-empty regions → the
+//!   rendering workload keeps its stated character.
+
+use rand::prelude::*;
+
+use crate::grid::Grid3;
+
+/// Parameters of the HCCI proxy field.
+#[derive(Clone, Debug)]
+pub struct HcciParams {
+    /// Grid extent per axis (cubic domain).
+    pub size: usize,
+    /// Number of ignition kernels.
+    pub kernels: usize,
+    /// Kernel radius as a fraction of the domain edge.
+    pub kernel_radius: f32,
+    /// Amplitude of the background noise relative to kernel peak (1.0).
+    pub noise_amplitude: f32,
+    /// Lattice spacing of the background noise, in samples.
+    pub noise_scale: usize,
+    /// RNG seed (fully deterministic output).
+    pub seed: u64,
+}
+
+impl Default for HcciParams {
+    fn default() -> Self {
+        HcciParams {
+            size: 64,
+            kernels: 48,
+            kernel_radius: 0.06,
+            noise_amplitude: 0.15,
+            noise_scale: 8,
+            seed: 0x4CC1_5EED,
+        }
+    }
+}
+
+/// Generate the proxy field. Values are roughly in `[0, 1+noise]`, kernels
+/// peaking near 1.
+pub fn hcci_proxy(params: &HcciParams) -> Grid3 {
+    let n = params.size;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Kernel centers, uniformly distributed (periodic domain).
+    let centers: Vec<(f32, f32, f32)> = (0..params.kernels)
+        .map(|_| {
+            (
+                rng.random_range(0.0..n as f32),
+                rng.random_range(0.0..n as f32),
+                rng.random_range(0.0..n as f32),
+            )
+        })
+        .collect();
+    // Per-kernel amplitude jitter: ignition regions differ in intensity.
+    let amps: Vec<f32> = (0..params.kernels).map(|_| rng.random_range(0.6..1.0)).collect();
+
+    // Band-limited noise: random lattice + trilinear interpolation,
+    // periodic boundary.
+    let lat = (n / params.noise_scale).max(1);
+    let lattice = Grid3::from_fn((lat, lat, lat), |_, _, _| rng.random_range(-1.0f32..1.0));
+
+    let sigma = params.kernel_radius * n as f32;
+    let inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+    // Beyond 3 sigma a kernel's contribution is negligible; skipping the
+    // exp keeps generation fast for large grids.
+    let cutoff2 = (3.0 * sigma) * (3.0 * sigma);
+    let nf = n as f32;
+
+    Grid3::from_fn((n, n, n), |x, y, z| {
+        let (xf, yf, zf) = (x as f32, y as f32, z as f32);
+        let mut v = 0.0f32;
+        for (i, &(cx, cy, cz)) in centers.iter().enumerate() {
+            // Periodic (minimum-image) distance.
+            let dx = periodic_delta(xf - cx, nf);
+            let dy = periodic_delta(yf - cy, nf);
+            let dz = periodic_delta(zf - cz, nf);
+            let d2 = dx * dx + dy * dy + dz * dz;
+            if d2 < cutoff2 {
+                v += amps[i] * (-d2 * inv_two_sigma2).exp();
+            }
+        }
+        // Periodic noise lookup in lattice space.
+        let s = lat as f32 / nf;
+        let noise = lattice.sample_trilinear(
+            (xf * s) % lat as f32,
+            (yf * s) % lat as f32,
+            (zf * s) % lat as f32,
+        );
+        v + params.noise_amplitude * noise
+    })
+}
+
+#[inline]
+fn periodic_delta(d: f32, n: f32) -> f32 {
+    let d = d.rem_euclid(n);
+    if d > n / 2.0 {
+        d - n
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HcciParams {
+        HcciParams { size: 24, kernels: 8, seed: 7, ..HcciParams::default() }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = hcci_proxy(&small());
+        let b = hcci_proxy(&small());
+        assert_eq!(a, b);
+        let c = hcci_proxy(&HcciParams { seed: 8, ..small() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kernels_create_distinct_maxima() {
+        let g = hcci_proxy(&small());
+        let (lo, hi) = g.min_max();
+        assert!(hi > 0.5, "kernel peaks present (max = {hi})");
+        assert!(lo < 0.2, "empty regions present (min = {lo})");
+        // Count strict local maxima above half-peak: should be several
+        // (one per sufficiently separated kernel).
+        let mut maxima = 0;
+        let n = g.dims.x;
+        for z in 1..n - 1 {
+            for y in 1..n - 1 {
+                for x in 1..n - 1 {
+                    let v = g.at(x, y, z);
+                    if v < 0.4 {
+                        continue;
+                    }
+                    let mut is_max = true;
+                    'scan: for dz in -1i64..=1 {
+                        for dy in -1i64..=1 {
+                            for dx in -1i64..=1 {
+                                if (dx, dy, dz) == (0, 0, 0) {
+                                    continue;
+                                }
+                                let nv = g.at(
+                                    (x as i64 + dx) as usize,
+                                    (y as i64 + dy) as usize,
+                                    (z as i64 + dz) as usize,
+                                );
+                                if nv >= v {
+                                    is_max = false;
+                                    break 'scan;
+                                }
+                            }
+                        }
+                    }
+                    if is_max {
+                        maxima += 1;
+                    }
+                }
+            }
+        }
+        assert!(maxima >= 3, "expected several ignition kernels, found {maxima}");
+    }
+
+    #[test]
+    fn periodic_delta_wraps() {
+        assert_eq!(periodic_delta(0.0, 10.0), 0.0);
+        assert_eq!(periodic_delta(9.0, 10.0), -1.0);
+        assert_eq!(periodic_delta(-1.0, 10.0), -1.0);
+        assert_eq!(periodic_delta(4.0, 10.0), 4.0);
+    }
+}

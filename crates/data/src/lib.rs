@@ -1,0 +1,23 @@
+//! # babelflow-data
+//!
+//! Data substrate for the BabelFlow-RS use cases: dense 3D grids with a
+//! binary payload codec ([`Grid3`]), regular block decomposition with the
+//! one-layer overlap merge trees need ([`BlockDecomp`]), and deterministic
+//! synthetic stand-ins for the paper's two datasets — the HCCI combustion
+//! field ([`hcci_proxy`]) and the tiled microscopy brain acquisition
+//! ([`brain_acquisition`]). See DESIGN.md §2 for why each substitution
+//! preserves the behaviour the experiments depend on.
+
+#![warn(missing_docs)]
+
+pub mod brain;
+pub mod decomp;
+pub mod grid;
+pub mod hcci;
+pub mod node;
+
+pub use brain::{brain_acquisition, BrainAcquisition, BrainParams, BrainTile};
+pub use decomp::{Block, BlockDecomp};
+pub use grid::{Grid3, Idx3};
+pub use hcci::{hcci_proxy, HcciParams};
+pub use node::{DataNode, Value};

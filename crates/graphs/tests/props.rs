@@ -1,0 +1,89 @@
+//! Property-based structural tests for every prototypical graph family:
+//! arbitrary legal parameters must yield well-formed DAGs with the right
+//! interface tasks.
+
+use babelflow_core::{validate, TaskGraph};
+use babelflow_graphs::{BinarySwap, Broadcast, KWayMerge, NeighborGraph, Reduction};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduction_valid_for_any_k_d(k in 2u64..6, d in 1u32..4) {
+        let g = Reduction::new(k.pow(d), k);
+        prop_assert!(validate(&g).is_empty());
+        prop_assert_eq!(g.leaf_ids().len() as u64, k.pow(d));
+        prop_assert_eq!(g.input_tasks().len() as u64, k.pow(d));
+        prop_assert_eq!(g.output_tasks(), vec![g.root_id()]);
+    }
+
+    #[test]
+    fn broadcast_valid_for_any_k_d(k in 2u64..6, d in 1u32..4) {
+        let g = Broadcast::new(k.pow(d), k);
+        prop_assert!(validate(&g).is_empty());
+        prop_assert_eq!(g.output_tasks().len() as u64, k.pow(d));
+        prop_assert_eq!(g.input_tasks(), vec![g.root_id()]);
+    }
+
+    #[test]
+    fn binary_swap_valid_for_any_power(r in 1u32..7) {
+        let g = BinarySwap::new(1 << r);
+        prop_assert!(validate(&g).is_empty());
+        prop_assert_eq!(g.rounds(), r);
+        // Tiles = leaves; every write task has two inputs.
+        for id in g.write_ids() {
+            prop_assert_eq!(g.task(id).unwrap().fan_in(), 2);
+        }
+    }
+
+    #[test]
+    fn kway_merge_valid_for_any_k_d(k in 2u64..5, d in 1u32..4) {
+        let g = KWayMerge::new(k.pow(d), k);
+        prop_assert!(validate(&g).is_empty());
+        // One segmentation output per leaf.
+        prop_assert_eq!(g.output_tasks().len() as u64, k.pow(d));
+        // Every id decodes to a role that encodes back to itself.
+        for id in g.ids() {
+            let role = g.role(id).unwrap();
+            let back = match role {
+                babelflow_graphs::MergeRole::Local { leaf } => g.leaf_id(leaf),
+                babelflow_graphs::MergeRole::Join { level, j } => g.join_id(level, j),
+                babelflow_graphs::MergeRole::Correction { level, leaf } => {
+                    g.correction_id(level, leaf)
+                }
+                babelflow_graphs::MergeRole::Segmentation { leaf } => g.seg_id(leaf),
+                babelflow_graphs::MergeRole::Relay { level, j, x } => g.relay_id(level, j, x),
+            };
+            prop_assert_eq!(back, id);
+        }
+    }
+
+    #[test]
+    fn neighbor_valid_for_any_grid(gx in 1u64..5, gy in 1u64..5, slabs in 1u64..5) {
+        prop_assume!(gx * gy >= 2);
+        let g = NeighborGraph::new(gx, gy, slabs);
+        prop_assert!(validate(&g).is_empty());
+        prop_assert_eq!(g.input_tasks().len() as u64, gx * gy * slabs);
+        prop_assert_eq!(g.output_tasks(), vec![g.solve_id()]);
+        // Every edge is incident to exactly two volumes, and edges_of is
+        // its inverse.
+        for e in 0..g.edges() {
+            let edge = g.edge(e);
+            prop_assert!(g.edges_of(edge.a).contains(&e));
+            prop_assert!(g.edges_of(edge.b).contains(&e));
+        }
+    }
+
+    #[test]
+    fn merge_tree_map_consistent_for_any_shards(
+        k in 2u64..4,
+        d in 1u32..3,
+        shards in 1u32..9,
+    ) {
+        let g = KWayMerge::new(k.pow(d), k);
+        let ids = g.ids();
+        let m = babelflow_graphs::MergeTreeMap::new(g, shards);
+        prop_assert!(babelflow_core::check_consistency(&m, &ids).is_empty());
+    }
+}

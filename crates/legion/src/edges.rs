@@ -1,0 +1,91 @@
+//! Mapping dataflow edges onto logical regions.
+//!
+//! "The Legion controller uses the given de-/serialization routines to map
+//! Payloads to physical regions and vice versa. Each task in Legion has a
+//! number of region requirements, that represent the inputs/outputs data of
+//! the task." Every dataflow edge `(producer, consumer)` becomes one
+//! logical region; parallel edges between the same pair are disambiguated
+//! by an occurrence index that both endpoints derive the same way (edge
+//! order), mirroring how the message-passing controllers match FIFO
+//! arrivals to input slots.
+
+use babelflow_core::{Task, TaskId};
+
+use crate::runtime::RegionKey;
+
+/// Region for the `occurrence`-th edge from `src` to `dst`.
+pub fn edge_region(src: TaskId, dst: TaskId, occurrence: u32) -> RegionKey {
+    RegionKey { src: src.0, dst: dst.0, occurrence }
+}
+
+/// Regions feeding each input slot of `task`, in slot order.
+///
+/// Slot `i` fed by producer `p` uses occurrence = number of earlier slots
+/// also fed by `p` (external inputs count against the EXTERNAL producer).
+pub fn input_regions(task: &Task) -> Vec<RegionKey> {
+    let mut out = Vec::with_capacity(task.fan_in());
+    for (i, &src) in task.incoming.iter().enumerate() {
+        let occurrence = task.incoming[..i].iter().filter(|&&s| s == src).count() as u32;
+        out.push(edge_region(src, task.id, occurrence));
+    }
+    out
+}
+
+/// Regions written by each outgoing edge of `task`: for every output slot,
+/// the fan-out destinations, flattened in slot order. Occurrences count
+/// repeated `(task, dst)` pairs in the same order the consumer counts its
+/// slots, so both sides name the same region.
+pub fn output_regions(task: &Task) -> Vec<(usize, RegionKey)> {
+    let mut seen: std::collections::HashMap<TaskId, u32> = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for (slot, dsts) in task.outgoing.iter().enumerate() {
+        for &dst in dsts {
+            let occ = seen.entry(dst).or_insert(0);
+            out.push((slot, edge_region(task.id, dst, *occ)));
+            *occ += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use babelflow_core::CallbackId;
+
+    #[test]
+    fn producer_and_consumer_agree_on_regions() {
+        // p sends slot0 and slot1 both to c; c has two input slots from p.
+        let mut p = Task::new(TaskId(1), CallbackId(0));
+        p.outgoing = vec![vec![TaskId(2)], vec![TaskId(2)]];
+        let mut c = Task::new(TaskId(2), CallbackId(0));
+        c.incoming = vec![TaskId(1), TaskId(1)];
+
+        let outs: Vec<RegionKey> = output_regions(&p).into_iter().map(|(_, r)| r).collect();
+        let ins = input_regions(&c);
+        assert_eq!(outs, ins);
+        assert_eq!(outs[0].occurrence, 0);
+        assert_eq!(outs[1].occurrence, 1);
+    }
+
+    #[test]
+    fn fan_out_uses_distinct_regions_per_consumer() {
+        let mut p = Task::new(TaskId(1), CallbackId(0));
+        p.outgoing = vec![vec![TaskId(2), TaskId(3)]];
+        let outs = output_regions(&p);
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].0, 0);
+        assert_eq!(outs[1].0, 0);
+        assert_ne!(outs[0].1, outs[1].1);
+    }
+
+    #[test]
+    fn external_inputs_count_occurrences() {
+        let mut c = Task::new(TaskId(5), CallbackId(0));
+        c.incoming = vec![TaskId::EXTERNAL, TaskId::EXTERNAL];
+        let ins = input_regions(&c);
+        assert_eq!(ins[0].occurrence, 0);
+        assert_eq!(ins[1].occurrence, 1);
+        assert_eq!(ins[0].src, TaskId::EXTERNAL.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! # babelflow-legion
+//!
+//! Legion-like backend for BabelFlow-RS: a data-centric runtime substrate
+//! ([`runtime`]: logical regions, region requirements, single/index/
+//! must-epoch launchers, phase barriers) and the paper's two controllers —
+//! [`LegionSpmdController`] (§IV-C, the variant used for all large-scale
+//! experiments) and [`LegionIndexLaunchController`] (the comparison variant
+//! of Figs. 2 and 3).
+
+#![warn(missing_docs)]
+
+pub mod edges;
+pub mod index_launch;
+pub mod runtime;
+pub mod spmd;
+
+pub use edges::{edge_region, input_regions, output_regions};
+pub use index_launch::{crawl_rounds, LegionIndexLaunchController};
+pub use runtime::{
+    LegionRuntime, LegionStats, PhaseBarrier, Precondition, Privilege, RegionKey,
+    RegionRequirement, TaskBody, TaskCtx, TaskLauncher,
+};
+pub use spmd::LegionSpmdController;
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use babelflow_core::{
+        canonical_outputs, run_serial, Blob, CallbackId, Controller, ModuloMap, Payload,
+        Registry, TaskGraph, TaskId,
+    };
+    use babelflow_graphs::{BinarySwap, KWayMerge, Reduction};
+
+    use super::*;
+
+    fn val(p: &Payload) -> u64 {
+        u64::from_le_bytes(p.extract::<Blob>().unwrap().0.as_slice().try_into().unwrap())
+    }
+
+    fn pay(v: u64) -> Payload {
+        Payload::wrap(Blob(v.to_le_bytes().to_vec()))
+    }
+
+    fn sum_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(CallbackId(0), |inputs, _| vec![inputs[0].clone()]);
+        r.register(CallbackId(1), |inputs, _| vec![pay(inputs.iter().map(val).sum())]);
+        r.register(CallbackId(2), |inputs, _| {
+            vec![pay(inputs.iter().map(val).sum::<u64>() + 1000)]
+        });
+        r
+    }
+
+    fn reduction_inputs(g: &Reduction) -> HashMap<TaskId, Vec<Payload>> {
+        g.leaf_ids()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, vec![pay(i as u64)]))
+            .collect()
+    }
+
+    #[test]
+    fn spmd_matches_serial_on_reduction() {
+        let g = Reduction::new(16, 2);
+        let reg = sum_registry();
+        let serial = run_serial(&g, &reg, reduction_inputs(&g)).unwrap();
+        for shards in [1u32, 2, 4] {
+            let map = ModuloMap::new(shards, g.size() as u64);
+            let mut c = LegionSpmdController::new(2);
+            let report = c.run(&g, &map, &reg, reduction_inputs(&g)).unwrap();
+            assert_eq!(canonical_outputs(&report), canonical_outputs(&serial), "shards={shards}");
+            assert_eq!(report.stats.tasks_executed, g.size() as u64);
+        }
+    }
+
+    #[test]
+    fn index_launch_matches_serial_on_reduction() {
+        let g = Reduction::new(16, 4);
+        let reg = sum_registry();
+        let serial = run_serial(&g, &reg, reduction_inputs(&g)).unwrap();
+        let map = ModuloMap::new(4, g.size() as u64); // ignored
+        let mut c = LegionIndexLaunchController::new(2);
+        let report = c.run(&g, &map, &reg, reduction_inputs(&g)).unwrap();
+        assert_eq!(canonical_outputs(&report), canonical_outputs(&serial));
+    }
+
+    #[test]
+    fn crawl_rounds_levelizes_reduction() {
+        let g = Reduction::new(8, 2);
+        let rounds = crawl_rounds(&g);
+        // 8 leaves, then 4+2 reduces, then the root: longest-path levels.
+        assert_eq!(rounds.len(), 4);
+        assert_eq!(rounds[0].len(), 8);
+        assert_eq!(rounds[1].len(), 4);
+        assert_eq!(rounds[2].len(), 2);
+        assert_eq!(rounds[3], vec![TaskId(0)]);
+        // No intra-round dependencies.
+        for round in &rounds {
+            let set: std::collections::HashSet<_> = round.iter().copied().collect();
+            for &id in round {
+                let t = g.task(id).unwrap();
+                for dsts in &t.outgoing {
+                    for dst in dsts {
+                        assert!(!set.contains(dst), "intra-round edge {id}->{dst}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_controllers_agree_on_binary_swap() {
+        let g = BinarySwap::new(8);
+        let mut reg = Registry::new();
+        reg.register(CallbackId(0), |inputs, _| {
+            let v = val(&inputs[0]);
+            vec![pay(v), pay(v + 1)]
+        });
+        reg.register(CallbackId(1), |inputs, _| {
+            let (a, b) = (val(&inputs[0]), val(&inputs[1]));
+            vec![pay(a ^ b), pay(a.wrapping_add(b))]
+        });
+        reg.register(CallbackId(2), |inputs, _| {
+            vec![pay(val(&inputs[0]).wrapping_sub(val(&inputs[1])))]
+        });
+        let inputs: HashMap<TaskId, Vec<Payload>> = g
+            .leaf_ids()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, vec![pay(i as u64 * 11)]))
+            .collect();
+        let serial = run_serial(&g, &reg, inputs.clone()).unwrap();
+        let map = ModuloMap::new(3, g.size() as u64);
+
+        let spmd = LegionSpmdController::new(2).run(&g, &map, &reg, inputs.clone()).unwrap();
+        let il = LegionIndexLaunchController::new(2).run(&g, &map, &reg, inputs).unwrap();
+        assert_eq!(canonical_outputs(&spmd), canonical_outputs(&serial));
+        assert_eq!(canonical_outputs(&il), canonical_outputs(&serial));
+    }
+
+    #[test]
+    fn spmd_handles_merge_dataflow_with_relays() {
+        let g = KWayMerge::new(8, 2);
+        let root_join = g.join_id(3, 0);
+        let mut reg = Registry::new();
+        reg.register(CallbackId(0), |inputs, _| {
+            let v = val(&inputs[0]);
+            vec![pay(v), pay(v * 2)]
+        });
+        reg.register(CallbackId(1), move |inputs, id| {
+            let s: u64 = inputs.iter().map(val).sum();
+            if id == root_join {
+                vec![pay(s)]
+            } else {
+                vec![pay(s), pay(s + 1)]
+            }
+        });
+        reg.register(CallbackId(2), |inputs, _| {
+            vec![pay(val(&inputs[0]) + val(&inputs[1]))]
+        });
+        reg.register(CallbackId(3), |inputs, _| vec![pay(val(&inputs[0]) * 10)]);
+        reg.register(CallbackId(4), |inputs, _| vec![inputs[0].clone()]);
+
+        let inputs: HashMap<TaskId, Vec<Payload>> = g
+            .leaf_ids()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, vec![pay(i as u64 + 1)]))
+            .collect();
+        let serial = run_serial(&g, &reg, inputs.clone()).unwrap();
+        let map = babelflow_graphs::MergeTreeMap::new(g.clone(), 3);
+        let report = LegionSpmdController::new(3).run(&g, &map, &reg, inputs).unwrap();
+        assert_eq!(canonical_outputs(&report), canonical_outputs(&serial));
+    }
+}

@@ -1,0 +1,238 @@
+//! The Legion SPMD controller — the paper's preferred Legion execution.
+//!
+//! "Slaughter et al. suggest that in order to scale an application with a
+//! high number of data-parallel tasks, an SPMD approach is preferable. […]
+//! we start one task per shard using a must parallelism launcher to execute
+//! a set of independent tasks running in parallel without any runtime
+//! synchronization. […] The per-shard task will then schedule its assigned
+//! part of the task graph using single task launchers. To manage
+//! dependencies between shards, Legion provides synchronization primitives
+//! called phase barriers."
+//!
+//! Implementation: one must-epoch launch of `num_shards` shard tasks. Each
+//! shard task walks its local subgraph (from the user's `TaskMap` — "as in
+//! the MPI case, the Legion controller makes use of the task map") and
+//! submits one single-task launcher per dataflow task. Same-shard edges
+//! become region-readiness dependencies; cross-shard edges additionally get
+//! a one-arrival phase barrier that the producer arrives at after writing
+//! the shared region.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+use babelflow_core::{
+    preflight, Callback, Controller, ControllerError, InitialInputs, Payload, Registry, Result,
+    RunReport, ShardId, Task, TaskGraph, TaskId, TaskMap,
+};
+use parking_lot::Mutex;
+
+use crate::edges::{input_regions, output_regions};
+use crate::runtime::{LegionRuntime, RegionKey, RegionRequirement, TaskLauncher};
+
+/// Legion-style SPMD controller (must-epoch shards + phase barriers).
+#[derive(Clone, Debug)]
+pub struct LegionSpmdController {
+    /// Worker threads executing launched tasks.
+    pub workers: usize,
+    /// Stall-detection timeout.
+    pub timeout: Duration,
+}
+
+impl LegionSpmdController {
+    /// Controller executing on `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        LegionSpmdController { workers, timeout: Duration::from_secs(10) }
+    }
+
+    /// Set the stall-detection timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// Shared output/error sinks for task bodies.
+#[derive(Default)]
+pub(crate) struct Sinks {
+    pub(crate) outputs: Mutex<BTreeMap<TaskId, Vec<Payload>>>,
+    pub(crate) executed: Mutex<std::collections::HashSet<TaskId>>,
+    pub(crate) error: Mutex<Option<ControllerError>>,
+}
+
+/// Attach every external input payload as a pre-mapped physical region.
+pub(crate) fn attach_inputs(
+    rt: &LegionRuntime,
+    graph: &dyn TaskGraph,
+    initial: &InitialInputs,
+) {
+    for (task_id, payloads) in initial {
+        let task = graph.task(*task_id).expect("preflight verified inputs");
+        let regions = input_regions(&task);
+        let mut supplied = payloads.iter();
+        for (slot, &src) in task.incoming.iter().enumerate() {
+            if src.is_external() {
+                let p = supplied.next().expect("preflight counted external inputs");
+                rt.attach_region(regions[slot], p.clone());
+            }
+        }
+    }
+}
+
+/// Build the fully owned single-task launcher for one dataflow task.
+///
+/// `barrier_of` maps cross-shard edge regions to their phase barrier; pass
+/// an empty map for index-launch mode (plain region dependences).
+pub(crate) fn build_task_launcher(
+    task: Task,
+    callback: Callback,
+    barriers: Arc<HashMap<RegionKey, u64>>,
+    sinks: Arc<Sinks>,
+    cross_shard_inputs: Vec<u64>,
+) -> TaskLauncher {
+    let in_regions = input_regions(&task);
+
+    let mut reqs = Vec::new();
+    for (slot, _) in task.incoming.iter().enumerate() {
+        let region = in_regions[slot];
+        // Cross-shard inputs are gated by their barrier (which implies the
+        // region was written); everything else is a region dependence.
+        if !barriers.contains_key(&region) {
+            reqs.push(RegionRequirement::read(region));
+        }
+    }
+
+    let mut launcher = TaskLauncher::new(
+        "dataflow-task",
+        Box::new(move |ctx| {
+            let inputs: Vec<Payload> = in_regions.iter().map(|&r| ctx.read_region(r)).collect();
+            let outputs = callback(inputs, task.id);
+            if outputs.len() != task.fan_out() {
+                let mut err = sinks.error.lock();
+                if err.is_none() {
+                    *err = Some(ControllerError::BadOutputArity {
+                        task: task.id,
+                        expected: task.fan_out(),
+                        got: outputs.len(),
+                    });
+                }
+                return;
+            }
+            for (slot, region) in output_regions(&task) {
+                if TaskId(region.dst).is_external() {
+                    sinks
+                        .outputs
+                        .lock()
+                        .entry(task.id)
+                        .or_default()
+                        .push(outputs[slot].clone());
+                    continue;
+                }
+                ctx.write_region(region, outputs[slot].clone());
+                if let Some(&b) = barriers.get(&region) {
+                    ctx.arrive(b);
+                }
+            }
+            sinks.executed.lock().insert(task.id);
+        }),
+    );
+    launcher.requirements = reqs;
+    launcher.barriers = cross_shard_inputs;
+    launcher
+}
+
+/// Classify a task's inputs and construct its launcher with barriers for
+/// cross-shard edges.
+fn launcher_for(
+    task: &Task,
+    registry: &Registry,
+    map: &dyn TaskMap,
+    barriers: &Arc<HashMap<RegionKey, u64>>,
+    sinks: &Arc<Sinks>,
+) -> TaskLauncher {
+    let in_regions = input_regions(task);
+    let home = map.shard(task.id);
+    let mut waits = Vec::new();
+    for (slot, &src) in task.incoming.iter().enumerate() {
+        if !src.is_external() && map.shard(src) != home {
+            if let Some(&b) = barriers.get(&in_regions[slot]) {
+                waits.push(b);
+            }
+        }
+    }
+    let callback = registry.get(task.callback).expect("preflight checked bindings").clone();
+    build_task_launcher(task.clone(), callback, barriers.clone(), sinks.clone(), waits)
+}
+
+impl Controller for LegionSpmdController {
+    fn run(
+        &mut self,
+        graph: &dyn TaskGraph,
+        map: &dyn TaskMap,
+        registry: &Registry,
+        initial: InitialInputs,
+    ) -> Result<RunReport> {
+        preflight(graph, registry, &initial)?;
+        let shards = map.num_shards();
+        let rt = LegionRuntime::new(self.workers);
+        attach_inputs(&rt, graph, &initial);
+
+        // One phase barrier per cross-shard edge.
+        let mut barriers: HashMap<RegionKey, u64> = HashMap::new();
+        for id in graph.ids() {
+            let task = graph.task(id).expect("ids() yields tasks");
+            let home = map.shard(id);
+            for (_, region) in output_regions(&task) {
+                let dst = TaskId(region.dst);
+                if !dst.is_external() && map.shard(dst) != home {
+                    barriers.insert(region, rt.create_barrier(1).id);
+                }
+            }
+        }
+        let barriers = Arc::new(barriers);
+        let sinks = Arc::new(Sinks::default());
+
+        // Precompute each shard's launchers (the shard task's "schedule its
+        // assigned part of the task graph" work), then must-epoch launch
+        // the shard tasks which submit them.
+        let mut shard_tasks = Vec::with_capacity(shards as usize);
+        for shard in 0..shards {
+            let launchers: Vec<TaskLauncher> = graph
+                .local_graph(ShardId(shard), map)
+                .iter()
+                .map(|t| launcher_for(t, registry, map, &barriers, &sinks))
+                .collect();
+            shard_tasks.push(TaskLauncher::new(
+                "spmd-shard",
+                Box::new(move |ctx| {
+                    for l in launchers {
+                        ctx.launch(l);
+                    }
+                }),
+            ));
+        }
+        rt.must_epoch_launch(shard_tasks);
+
+        let finished = rt.wait_all(self.timeout);
+        if let Some(err) = sinks.error.lock().take() {
+            return Err(err);
+        }
+        if !finished {
+            let executed = sinks.executed.lock();
+            let mut pending: Vec<TaskId> =
+                graph.ids().into_iter().filter(|id| !executed.contains(id)).collect();
+            pending.sort();
+            return Err(ControllerError::Deadlock { pending });
+        }
+
+        let mut report = RunReport::default();
+        report.outputs = std::mem::take(&mut *sinks.outputs.lock());
+        report.stats.tasks_executed = sinks.executed.lock().len() as u64;
+        report.stats.local_messages = rt.stats().tasks_launched;
+        Ok(report)
+    }
+
+    fn name(&self) -> &'static str {
+        "legion-spmd"
+    }
+}

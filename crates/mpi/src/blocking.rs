@@ -1,0 +1,249 @@
+//! The blocking-communication baseline controller ("Original MPI").
+//!
+//! The paper compares BabelFlow's MPI backend against the hand-tuned
+//! implementation of Landge et al. and attributes the difference to
+//! communication style: "the original implementation used blocking
+//! communication while our MPI backend uses asynchronous calls and
+//! independent threads. Since the computation is naturally load imbalanced
+//! […] an asynchronous execution is likely more tolerant of delays."
+//!
+//! This controller reproduces the baseline's mechanism: each rank executes
+//! its tasks in a *fixed static order* (a global topological order of the
+//! graph), blocking on each missing input in turn, with no worker threads.
+//! Everything else — task graph, callbacks, payloads, transport — is
+//! identical to the asynchronous controller, so benchmark deltas between
+//! the two isolate exactly the scheduling difference.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Duration;
+
+use babelflow_core::{
+    preflight, Controller, ControllerError, InitialInputs, InputBuffer, Payload, Registry, Result,
+    RunReport, RunStats, ShardId, TaskGraph, TaskId, TaskMap,
+};
+
+use crate::comm::{FaultPlan, RankComm, World};
+use crate::controller::DEFAULT_TIMEOUT;
+use crate::wire::{DataflowMsg, TAG_DATAFLOW};
+
+/// Blocking, statically ordered MPI-style controller (the "Original MPI"
+/// baseline of Fig. 6).
+#[derive(Clone, Debug)]
+pub struct BlockingMpiController {
+    /// Stall-detection timeout per blocking receive.
+    pub timeout: Duration,
+    /// Fault injection for tests.
+    pub faults: FaultPlan,
+}
+
+impl Default for BlockingMpiController {
+    fn default() -> Self {
+        BlockingMpiController { timeout: DEFAULT_TIMEOUT, faults: FaultPlan::none() }
+    }
+}
+
+impl BlockingMpiController {
+    /// Controller with the default timeout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the stall-detection timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Inject transport faults (tests only).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Global topological order of the graph (Kahn's algorithm, id-tiebroken):
+/// the static schedule every rank follows. Any topological order is a valid
+/// blocking schedule; id tie-breaking makes it deterministic.
+pub fn static_schedule(graph: &dyn TaskGraph) -> HashMap<TaskId, usize> {
+    let ids = graph.ids();
+    let tasks: HashMap<TaskId, babelflow_core::Task> =
+        ids.iter().filter_map(|&id| graph.task(id).map(|t| (id, t))).collect();
+    let mut indegree: HashMap<TaskId, usize> = tasks
+        .values()
+        .map(|t| (t.id, t.incoming.iter().filter(|s| !s.is_external()).count()))
+        .collect();
+    let mut frontier: Vec<TaskId> =
+        indegree.iter().filter(|(_, &d)| d == 0).map(|(&id, _)| id).collect();
+    frontier.sort();
+    let mut queue: VecDeque<TaskId> = frontier.into();
+    let mut order = HashMap::with_capacity(tasks.len());
+    while let Some(id) = queue.pop_front() {
+        let pos = order.len();
+        order.insert(id, pos);
+        let mut next = Vec::new();
+        for dsts in &tasks[&id].outgoing {
+            for &dst in dsts {
+                if dst.is_external() {
+                    continue;
+                }
+                let d = indegree.get_mut(&dst).expect("edge target exists");
+                *d -= 1;
+                if *d == 0 {
+                    next.push(dst);
+                }
+            }
+        }
+        next.sort();
+        queue.extend(next);
+    }
+    order
+}
+
+impl Controller for BlockingMpiController {
+    fn run(
+        &mut self,
+        graph: &dyn TaskGraph,
+        map: &dyn TaskMap,
+        registry: &Registry,
+        initial: InitialInputs,
+    ) -> Result<RunReport> {
+        preflight(graph, registry, &initial)?;
+        let schedule = static_schedule(graph);
+        let nranks = map.num_shards() as usize;
+        let mut world = World::with_faults(nranks, self.faults.clone());
+        let endpoints = world.endpoints();
+
+        let mut rank_inputs: Vec<InitialInputs> = (0..nranks).map(|_| HashMap::new()).collect();
+        for (task, payloads) in initial {
+            rank_inputs[map.shard(task).0 as usize].insert(task, payloads);
+        }
+
+        let timeout = self.timeout;
+        let schedule = &schedule;
+
+        let outcomes: Vec<Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)>> =
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .zip(rank_inputs)
+                    .map(|(ep, inputs)| {
+                        s.spawn(move |_| {
+                            blocking_rank_main(ep, graph, map, registry, inputs, schedule, timeout)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            })
+            .expect("controller scope panicked");
+
+        let mut report = RunReport::default();
+        for outcome in outcomes {
+            let (outputs, stats) = outcome?;
+            report.outputs.extend(outputs);
+            report.stats.merge(&stats);
+        }
+        Ok(report)
+    }
+
+    fn name(&self) -> &'static str {
+        "mpi-blocking"
+    }
+}
+
+fn blocking_rank_main(
+    ep: RankComm,
+    graph: &dyn TaskGraph,
+    map: &dyn TaskMap,
+    registry: &Registry,
+    initial: InitialInputs,
+    schedule: &HashMap<TaskId, usize>,
+    timeout: Duration,
+) -> Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)> {
+    let my_shard = ShardId(ep.rank() as u32);
+    let mut local = graph.local_graph(my_shard, map);
+    // The static schedule: strictly follow the global topological order.
+    local.sort_by_key(|t| schedule[&t.id]);
+
+    let mut buffers: HashMap<TaskId, InputBuffer> =
+        local.iter().map(|t| (t.id, InputBuffer::new(t.clone()))).collect();
+
+    for (task, payloads) in initial {
+        let buf = buffers
+            .get_mut(&task)
+            .ok_or_else(|| ControllerError::Runtime(format!("initial input for non-local task {task}")))?;
+        for p in payloads {
+            if !buf.deliver(TaskId::EXTERNAL, p) {
+                return Err(ControllerError::Runtime(format!("too many initial inputs for {task}")));
+            }
+        }
+    }
+
+    let mut outputs: BTreeMap<TaskId, Vec<Payload>> = BTreeMap::new();
+    let mut stats = RunStats::default();
+
+    for task in &local {
+        // Blocking phase: wait until this specific task is complete,
+        // ignoring whether later tasks could already run (the baseline's
+        // weakness under load imbalance).
+        while !buffers[&task.id].ready() {
+            let Some(env) = ep.recv_timeout(timeout) else {
+                let mut pending: Vec<TaskId> =
+                    buffers.iter().filter(|(_, b)| !b.ready()).map(|(&id, _)| id).collect();
+                pending.sort();
+                return Err(ControllerError::Deadlock { pending });
+            };
+            let msg = DataflowMsg::decode(&env.body).ok_or_else(|| {
+                ControllerError::Runtime(format!("malformed message from rank {}", env.src))
+            })?;
+            let buf = buffers.get_mut(&msg.dst_task).ok_or_else(|| {
+                ControllerError::Runtime(format!("message for unknown task {}", msg.dst_task))
+            })?;
+            if !buf.deliver(msg.src_task, Payload::Buffer(msg.payload)) {
+                return Err(ControllerError::Runtime(format!(
+                    "unexpected delivery {} -> {}",
+                    msg.src_task, msg.dst_task
+                )));
+            }
+        }
+
+        let (task, inputs) = buffers.remove(&task.id).expect("scheduled task buffered").take();
+        let cb = registry.get(task.callback).expect("preflight checked bindings");
+        let outs = cb(inputs, task.id);
+        stats.tasks_executed += 1;
+        if outs.len() != task.fan_out() {
+            return Err(ControllerError::BadOutputArity {
+                task: task.id,
+                expected: task.fan_out(),
+                got: outs.len(),
+            });
+        }
+        for (slot, payload) in outs.into_iter().enumerate() {
+            for &dst in &task.outgoing[slot] {
+                if dst.is_external() {
+                    outputs.entry(task.id).or_default().push(payload.clone());
+                } else if map.shard(dst) == my_shard {
+                    let buf = buffers.get_mut(&dst).ok_or_else(|| {
+                        ControllerError::Runtime(format!(
+                            "local consumer {dst} executed before its producer"
+                        ))
+                    })?;
+                    if !buf.deliver(task.id, payload.clone()) {
+                        return Err(ControllerError::Runtime(format!(
+                            "unexpected local delivery {} -> {dst}",
+                            task.id
+                        )));
+                    }
+                    stats.local_messages += 1;
+                } else {
+                    let msg = DataflowMsg::from_payload(dst, task.id, &payload);
+                    let body = msg.encode();
+                    stats.remote_messages += 1;
+                    stats.remote_bytes += body.len() as u64;
+                    ep.isend(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
+                }
+            }
+        }
+    }
+
+    Ok((outputs, stats))
+}

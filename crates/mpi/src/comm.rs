@@ -1,0 +1,282 @@
+//! A minimal MPI-like point-to-point communication substrate.
+//!
+//! Rust has no production MPI binding, so per the reproduction's
+//! substitution rule we build the transport the paper's MPI controller
+//! needs: a fixed-size world of ranks exchanging tagged, ordered,
+//! asynchronous point-to-point messages. Each rank is a thread; messages
+//! are byte buffers moved through unbounded FIFO channels, preserving MPI's
+//! per-(source, destination) ordering guarantee. Sends are eager and
+//! buffered (they never block), receives block with an optional timeout.
+//!
+//! A [`FaultPlan`] can drop or duplicate selected messages, which the test
+//! suite uses to verify that controllers detect stalled dataflows instead
+//! of hanging.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+/// A message in flight: source rank, tag, and opaque bytes.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag (the dataflow controllers encode the destination task id
+    /// here-in payload; the tag distinguishes message classes).
+    pub tag: u32,
+    /// Serialized message body.
+    pub body: bytes::Bytes,
+}
+
+/// Deterministic fault injection for tests: which (src, dst, seq) sends to
+/// drop and which to duplicate. `seq` counts messages on that directed
+/// pair, starting at 0.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    /// Messages to silently drop.
+    pub drop: Vec<(usize, usize, u64)>,
+    /// Messages to deliver twice.
+    pub duplicate: Vec<(usize, usize, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+struct Shared {
+    inboxes: Vec<Sender<Envelope>>,
+    faults: FaultPlan,
+    /// Per directed pair (src*n+dst) message counter for fault matching.
+    seq: Mutex<Vec<u64>>,
+    /// Total messages accepted for delivery (post-fault).
+    delivered: Mutex<u64>,
+}
+
+/// A communication world of `n` ranks.
+///
+/// Create one, then hand each rank thread its [`RankComm`] endpoint.
+pub struct World {
+    shared: Arc<Shared>,
+    endpoints: Vec<Option<RankComm>>,
+}
+
+impl World {
+    /// Create a world with `n` ranks and no fault injection.
+    pub fn new(n: usize) -> Self {
+        Self::with_faults(n, FaultPlan::none())
+    }
+
+    /// Create a world with `n` ranks and the given fault plan.
+    ///
+    /// # Panics
+    /// If `n` is zero.
+    pub fn with_faults(n: usize, faults: FaultPlan) -> Self {
+        assert!(n > 0, "world needs at least one rank");
+        let mut inboxes = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            inboxes,
+            faults,
+            seq: Mutex::new(vec![0; n * n]),
+            delivered: Mutex::new(0),
+        });
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Some(RankComm { rank, n, rx, shared: shared.clone() }))
+            .collect();
+        World { shared, endpoints }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Take the endpoint for `rank` (each may be taken once).
+    ///
+    /// # Panics
+    /// If the endpoint was already taken or `rank` is out of range.
+    pub fn endpoint(&mut self, rank: usize) -> RankComm {
+        self.endpoints[rank].take().expect("endpoint already taken")
+    }
+
+    /// Take all endpoints, in rank order.
+    pub fn endpoints(&mut self) -> Vec<RankComm> {
+        (0..self.size()).map(|r| self.endpoint(r)).collect()
+    }
+
+    /// Messages delivered so far (after fault filtering).
+    pub fn delivered(&self) -> u64 {
+        *self.shared.delivered.lock()
+    }
+}
+
+/// One rank's communication endpoint.
+pub struct RankComm {
+    rank: usize,
+    n: usize,
+    rx: Receiver<Envelope>,
+    shared: Arc<Shared>,
+}
+
+impl RankComm {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Asynchronous eager send: enqueue `body` for `dst` and return
+    /// immediately. Messages on the same (src, dst) pair are delivered in
+    /// send order.
+    ///
+    /// # Panics
+    /// If `dst` is out of range.
+    pub fn isend(&self, dst: usize, tag: u32, body: bytes::Bytes) {
+        assert!(dst < self.n, "rank {dst} out of range");
+        let pair = self.rank * self.n + dst;
+        let seq = {
+            let mut seqs = self.shared.seq.lock();
+            let s = seqs[pair];
+            seqs[pair] += 1;
+            s
+        };
+        let key = (self.rank, dst, seq);
+        if self.shared.faults.drop.contains(&key) {
+            return;
+        }
+        let env = Envelope { src: self.rank, tag, body };
+        let copies = if self.shared.faults.duplicate.contains(&key) { 2 } else { 1 };
+        for _ in 0..copies {
+            // A send to a rank whose endpoint (and so receiver) was dropped
+            // is a no-op, like a send that is never matched by a receive.
+            let _ = self.shared.inboxes[dst].send(env.clone());
+            *self.shared.delivered.lock() += 1;
+        }
+    }
+
+    /// Blocking receive of the next message from any source.
+    pub fn recv(&self) -> Option<Envelope> {
+        self.rx.recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on timeout or if all senders hung up.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(e) => Some(e),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    /// The raw inbox receiver, for use in `crossbeam::select!` loops.
+    pub fn inbox(&self) -> &Receiver<Envelope> {
+        &self.rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn point_to_point_ordering() {
+        let mut w = World::new(2);
+        let a = w.endpoint(0);
+        let b = w.endpoint(1);
+        for i in 0..10u8 {
+            a.isend(1, 0, Bytes::from(vec![i]));
+        }
+        for i in 0..10u8 {
+            let e = b.recv().unwrap();
+            assert_eq!(e.src, 0);
+            assert_eq!(e.body.as_ref(), &[i]);
+        }
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let mut w = World::new(2);
+        let eps = w.endpoints();
+        crossbeam::scope(|s| {
+            for ep in eps {
+                s.spawn(move |_| {
+                    let peer = 1 - ep.rank();
+                    ep.isend(peer, 7, Bytes::from(vec![ep.rank() as u8]));
+                    let e = ep.recv().unwrap();
+                    assert_eq!(e.src, peer);
+                    assert_eq!(e.tag, 7);
+                    assert_eq!(e.body.as_ref(), &[peer as u8]);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(w.delivered(), 2);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let mut w = World::new(1);
+        let a = w.endpoint(0);
+        a.isend(0, 1, Bytes::from_static(b"x"));
+        assert_eq!(a.recv().unwrap().body.as_ref(), b"x");
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let mut w = World::new(2);
+        let a = w.endpoint(0);
+        assert!(a.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn dropped_message_never_arrives() {
+        let faults = FaultPlan { drop: vec![(0, 1, 0)], duplicate: vec![] };
+        let mut w = World::with_faults(2, faults);
+        let a = w.endpoint(0);
+        let b = w.endpoint(1);
+        a.isend(1, 0, Bytes::from_static(b"lost"));
+        a.isend(1, 0, Bytes::from_static(b"kept"));
+        let e = b.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(e.body.as_ref(), b"kept");
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn duplicated_message_arrives_twice() {
+        let faults = FaultPlan { drop: vec![], duplicate: vec![(0, 1, 0)] };
+        let mut w = World::with_faults(2, faults);
+        let a = w.endpoint(0);
+        let b = w.endpoint(1);
+        a.isend(1, 0, Bytes::from_static(b"twin"));
+        assert_eq!(b.recv().unwrap().body.as_ref(), b"twin");
+        assert_eq!(b.recv_timeout(Duration::from_millis(100)).unwrap().body.as_ref(), b"twin");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_to_unknown_rank_panics() {
+        let mut w = World::new(1);
+        w.endpoint(0).isend(3, 0, Bytes::new());
+    }
+}

@@ -1,0 +1,299 @@
+//! The asynchronous MPI controller — §IV-A of the paper.
+//!
+//! "The MPI controller uses a static allocation of the tasks and
+//! asynchronous point-to-point messages for communication. […] Each time
+//! new information arrives, the controller checks whether all input
+//! requirements for some tasks are met. When a task is ready to execute, it
+//! spawns a new thread that is executed in the background. […] Tasks are
+//! scheduled greedily, i.e., each task is started as soon as all its input
+//! data has been received, in the order in which this data arrived."
+//!
+//! Fidelity notes:
+//! * static task→rank allocation via the user's [`TaskMap`];
+//! * per-rank controller thread + a pool of worker threads executing ready
+//!   tasks in arrival order;
+//! * the in-memory fast path: intra-rank messages move the `Payload` by
+//!   reference, skipping de/serialization; inter-rank messages serialize;
+//! * each task owns its inputs and relinquishes its outputs, so payloads
+//!   are never mutated in place (enforced by `Payload`'s shared-`Arc`
+//!   design).
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+use babelflow_core::{
+    preflight, Controller, ControllerError, InitialInputs, InputBuffer, Payload, Registry, Result,
+    RunReport, RunStats, ShardId, Task, TaskGraph, TaskId, TaskMap,
+};
+use crossbeam::channel::unbounded;
+
+use crate::comm::{FaultPlan, RankComm, World};
+use crate::wire::{DataflowMsg, TAG_DATAFLOW};
+
+/// Default per-rank receive timeout before declaring the dataflow stalled.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Asynchronous MPI-style controller.
+#[derive(Clone, Debug)]
+pub struct MpiController {
+    /// Worker threads per rank executing ready tasks ("spawns a new thread
+    /// that is executed in the background" — bounded here by a pool).
+    pub workers_per_rank: usize,
+    /// Stall-detection timeout per rank.
+    pub timeout: Duration,
+    /// Fault injection for tests.
+    pub faults: FaultPlan,
+}
+
+impl Default for MpiController {
+    fn default() -> Self {
+        MpiController { workers_per_rank: 2, timeout: DEFAULT_TIMEOUT, faults: FaultPlan::none() }
+    }
+}
+
+impl MpiController {
+    /// Controller with default worker pool and timeout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the per-rank worker pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker per rank");
+        self.workers_per_rank = workers;
+        self
+    }
+
+    /// Set the stall-detection timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Inject transport faults (tests only).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// What one rank produced.
+pub(crate) type RankOutcome = Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)>;
+
+impl Controller for MpiController {
+    fn run(
+        &mut self,
+        graph: &dyn TaskGraph,
+        map: &dyn TaskMap,
+        registry: &Registry,
+        initial: InitialInputs,
+    ) -> Result<RunReport> {
+        preflight(graph, registry, &initial)?;
+        let nranks = map.num_shards() as usize;
+        let mut world = World::with_faults(nranks, self.faults.clone());
+        let endpoints = world.endpoints();
+
+        // "Each rank creates only the portion of the tasks assigned to it"
+        // and receives only the initial inputs local to it.
+        let mut rank_inputs: Vec<InitialInputs> = (0..nranks).map(|_| HashMap::new()).collect();
+        for (task, payloads) in initial {
+            rank_inputs[map.shard(task).0 as usize].insert(task, payloads);
+        }
+
+        let timeout = self.timeout;
+        let workers = self.workers_per_rank;
+
+        let outcomes: Vec<RankOutcome> = crossbeam::scope(|s| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .zip(rank_inputs)
+                .map(|(ep, inputs)| {
+                    s.spawn(move |_| {
+                        rank_main(ep, graph, map, registry, inputs, workers, timeout)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+        .expect("controller scope panicked");
+
+        let mut report = RunReport::default();
+        for outcome in outcomes {
+            let (outputs, stats) = outcome?;
+            report.outputs.extend(outputs);
+            report.stats.merge(&stats);
+        }
+        Ok(report)
+    }
+
+    fn name(&self) -> &'static str {
+        "mpi-async"
+    }
+}
+
+/// Work item handed to a worker thread.
+struct WorkItem {
+    task: Task,
+    inputs: Vec<Payload>,
+}
+
+/// Result returned by a worker.
+struct DoneItem {
+    task: Task,
+    outputs: std::result::Result<Vec<Payload>, ControllerError>,
+}
+
+
+/// Move ready buffers to the worker pool.
+fn dispatch_ready(
+    buffers: &mut HashMap<TaskId, InputBuffer>,
+    ready: Vec<TaskId>,
+    work_tx: &crossbeam::channel::Sender<WorkItem>,
+) {
+    for id in ready {
+        if let Some(buf) = buffers.remove(&id) {
+            let (task, inputs) = buf.take();
+            work_tx.send(WorkItem { task, inputs }).expect("workers alive");
+        }
+    }
+}
+
+pub(crate) fn rank_main(
+    ep: RankComm,
+    graph: &dyn TaskGraph,
+    map: &dyn TaskMap,
+    registry: &Registry,
+    initial: InitialInputs,
+    workers: usize,
+    timeout: Duration,
+) -> RankOutcome {
+    let my_shard = ShardId(ep.rank() as u32);
+    let local = graph.local_graph(my_shard, map);
+    let local_total = local.len();
+    let mut buffers: HashMap<TaskId, InputBuffer> =
+        local.into_iter().map(|t| (t.id, InputBuffer::new(t))).collect();
+
+    for (task, payloads) in initial {
+        let buf = buffers
+            .get_mut(&task)
+            .ok_or_else(|| ControllerError::Runtime(format!("initial input for non-local task {task}")))?;
+        for p in payloads {
+            if !buf.deliver(TaskId::EXTERNAL, p) {
+                return Err(ControllerError::Runtime(format!("too many initial inputs for {task}")));
+            }
+        }
+    }
+
+    let (work_tx, work_rx) = unbounded::<WorkItem>();
+    let (done_tx, done_rx) = unbounded::<DoneItem>();
+
+    crossbeam::scope(|s| {
+        // Worker pool: executes ready tasks in the order their inputs
+        // completed.
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            s.spawn(move |_| {
+                while let Ok(WorkItem { task, inputs }) = work_rx.recv() {
+                    let cb = registry.get(task.callback).expect("preflight checked bindings");
+                    let outputs = cb(inputs, task.id);
+                    let outputs = if outputs.len() == task.fan_out() {
+                        Ok(outputs)
+                    } else {
+                        Err(ControllerError::BadOutputArity {
+                            task: task.id,
+                            expected: task.fan_out(),
+                            got: outputs.len(),
+                        })
+                    };
+                    let _ = done_tx.send(DoneItem { task, outputs });
+                }
+            });
+        }
+        drop(done_tx);
+
+        let mut outputs: BTreeMap<TaskId, Vec<Payload>> = BTreeMap::new();
+        let mut stats = RunStats::default();
+        let mut executed = 0usize;
+
+        let initially_ready: Vec<TaskId> = {
+            let mut r: Vec<TaskId> =
+                buffers.values().filter(|b| b.ready()).map(|b| b.task().id).collect();
+            r.sort();
+            r
+        };
+        dispatch_ready(&mut buffers, initially_ready, &work_tx);
+
+        while executed < local_total {
+            crossbeam::channel::select! {
+                recv(done_rx) -> msg => {
+                    let DoneItem { task, outputs: result } = msg
+                        .map_err(|_| ControllerError::Runtime("worker pool died".into()))?;
+                    let outs = result?;
+                    executed += 1;
+                    stats.tasks_executed += 1;
+
+                    let mut newly_ready = Vec::new();
+                    for (slot, payload) in outs.into_iter().enumerate() {
+                        for &dst in &task.outgoing[slot] {
+                            if dst.is_external() {
+                                outputs.entry(task.id).or_default().push(payload.clone());
+                            } else if map.shard(dst) == my_shard {
+                                // In-memory fast path: skip serialization.
+                                let buf = buffers.get_mut(&dst).ok_or_else(|| {
+                                    ControllerError::Runtime(format!(
+                                        "local consumer {dst} missing or already executed"
+                                    ))
+                                })?;
+                                if !buf.deliver(task.id, payload.clone()) {
+                                    return Err(ControllerError::Runtime(format!(
+                                        "unexpected local delivery {} -> {dst}", task.id
+                                    )));
+                                }
+                                stats.local_messages += 1;
+                                if buf.ready() {
+                                    newly_ready.push(dst);
+                                }
+                            } else {
+                                let msg = DataflowMsg::from_payload(dst, task.id, &payload);
+                                let body = msg.encode();
+                                stats.remote_messages += 1;
+                                stats.remote_bytes += body.len() as u64;
+                                ep.isend(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
+                            }
+                        }
+                    }
+                    dispatch_ready(&mut buffers, newly_ready, &work_tx);
+                }
+                recv(ep.inbox()) -> env => {
+                    let env = env.map_err(|_| ControllerError::Runtime("world torn down".into()))?;
+                    let msg = DataflowMsg::decode(&env.body).ok_or_else(|| {
+                        ControllerError::Runtime(format!("malformed message from rank {}", env.src))
+                    })?;
+                    let buf = buffers.get_mut(&msg.dst_task).ok_or_else(|| {
+                        ControllerError::Runtime(format!(
+                            "message for unknown/finished task {}", msg.dst_task
+                        ))
+                    })?;
+                    if !buf.deliver(msg.src_task, Payload::Buffer(msg.payload)) {
+                        return Err(ControllerError::Runtime(format!(
+                            "unexpected delivery {} -> {}", msg.src_task, msg.dst_task
+                        )));
+                    }
+                    if buf.ready() {
+                        dispatch_ready(&mut buffers, vec![msg.dst_task], &work_tx);
+                    }
+                }
+                default(timeout) => {
+                    let mut pending: Vec<TaskId> = buffers.keys().copied().collect();
+                    pending.sort();
+                    return Err(ControllerError::Deadlock { pending });
+                }
+            }
+        }
+
+        drop(work_tx);
+        Ok((outputs, stats))
+    })
+    .expect("rank scope panicked")
+}

@@ -1,0 +1,77 @@
+//! Wire format of dataflow messages between ranks.
+
+use babelflow_core::{Decoder, Encoder, Payload, TaskId};
+use bytes::Bytes;
+
+/// Tag used for dataflow payload messages.
+pub const TAG_DATAFLOW: u32 = 0;
+
+/// A serialized dataflow message: which task it is for, which task sent
+/// it, and the payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowMsg {
+    /// Destination task.
+    pub dst_task: TaskId,
+    /// Producing task.
+    pub src_task: TaskId,
+    /// Serialized payload.
+    pub payload: Bytes,
+}
+
+impl DataflowMsg {
+    /// Encode for transport.
+    pub fn encode(&self) -> Bytes {
+        let mut e = Encoder::with_capacity(24 + self.payload.len());
+        e.put_u64(self.dst_task.0);
+        e.put_u64(self.src_task.0);
+        e.put_bytes(&self.payload);
+        e.finish()
+    }
+
+    /// Decode from transport; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut d = Decoder::new(buf);
+        let dst_task = TaskId(d.get_u64().ok()?);
+        let src_task = TaskId(d.get_u64().ok()?);
+        let payload = Bytes::copy_from_slice(d.get_bytes().ok()?);
+        d.is_done().then_some(DataflowMsg { dst_task, src_task, payload })
+    }
+
+    /// Build from a payload, serializing it ("each rank … skips the
+    /// serialization" only for local messages — this is the remote path).
+    pub fn from_payload(dst_task: TaskId, src_task: TaskId, payload: &Payload) -> Self {
+        DataflowMsg { dst_task, src_task, payload: payload.to_buffer() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use babelflow_core::{Blob, PayloadData};
+
+    #[test]
+    fn roundtrip() {
+        let m = DataflowMsg {
+            dst_task: TaskId(5),
+            src_task: TaskId(9),
+            payload: Blob(vec![1, 2, 3]).encode(),
+        };
+        let back = DataflowMsg::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let m = DataflowMsg { dst_task: TaskId(0), src_task: TaskId(1), payload: Bytes::new() };
+        let mut bytes = m.encode().to_vec();
+        bytes.push(0xFF);
+        assert!(DataflowMsg::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let m = DataflowMsg { dst_task: TaskId(0), src_task: TaskId(1), payload: Bytes::from_static(b"abc") };
+        let bytes = m.encode();
+        assert!(DataflowMsg::decode(&bytes[..bytes.len() - 1]).is_none());
+    }
+}

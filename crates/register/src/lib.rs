@@ -1,0 +1,112 @@
+//! # babelflow-register
+//!
+//! The paper's third use case (§V-C, Figs. 8 and 9): registration of
+//! tiled microscopy volumes. Each volume exchanges padded overlap regions
+//! with its grid neighbors per Z slab, offsets are estimated by normalized
+//! cross-correlation, the best per-edge estimate survives a sort/evaluate
+//! stage, and a final solve turns pairwise offsets into global positions.
+//! Synthetic acquisitions (with known ground-truth jitter) come from
+//! `babelflow_data::brain`.
+
+#![warn(missing_docs)]
+
+pub mod correlate;
+pub mod tasks;
+
+pub use correlate::{search_offset, Estimate, Offset};
+pub use tasks::{
+    solve_positions, EdgeEstimate, OverlapPatch, Positions, RegisterConfig, TileSlab,
+};
+
+#[cfg(test)]
+mod tests {
+    use babelflow_core::{canonical_outputs, run_serial, Controller, ModuloMap, TaskGraph};
+    use babelflow_data::{brain_acquisition, BrainAcquisition, BrainParams};
+
+    use super::*;
+
+    fn acq() -> BrainAcquisition {
+        brain_acquisition(&BrainParams {
+            grid: (2, 2),
+            tile: 24,
+            overlap: 0.25,
+            max_jitter: 1,
+            noise: 0.01,
+            seed: 42,
+        })
+    }
+
+    fn ground_truth_deviation(acq: &BrainAcquisition, v: usize) -> (i64, i64, i64) {
+        let j = |i: usize| {
+            let t = &acq.tiles[i];
+            (
+                t.true_origin.0 - t.nominal_origin.0,
+                t.true_origin.1 - t.nominal_origin.1,
+                t.true_origin.2 - t.nominal_origin.2,
+            )
+        };
+        let (j0, jv) = (j(0), j(v));
+        (jv.0 - j0.0, jv.1 - j0.1, jv.2 - j0.2)
+    }
+
+    #[test]
+    fn registration_recovers_ground_truth_offsets() {
+        let acq = acq();
+        let cfg = RegisterConfig::for_acquisition(&acq, 2, 2);
+        let graph = cfg.graph();
+        let reg = cfg.registry();
+        let report = run_serial(&graph, &reg, cfg.initial_inputs(&acq)).unwrap();
+        let pos = cfg.positions(&report);
+        for &(v, dev) in &pos.list {
+            assert_eq!(
+                dev,
+                ground_truth_deviation(&acq, v as usize),
+                "volume {v} deviation"
+            );
+        }
+    }
+
+    #[test]
+    fn registration_identical_across_runtimes() {
+        let acq = acq();
+        let cfg = RegisterConfig::for_acquisition(&acq, 2, 1);
+        let graph = cfg.graph();
+        let reg = cfg.registry();
+        let map = ModuloMap::new(3, graph.size() as u64);
+
+        let serial = run_serial(&graph, &reg, cfg.initial_inputs(&acq)).unwrap();
+        let canon = canonical_outputs(&serial);
+
+        let r = babelflow_mpi::MpiController::new()
+            .run(&graph, &map, &reg, cfg.initial_inputs(&acq))
+            .unwrap();
+        assert_eq!(canonical_outputs(&r), canon, "mpi");
+
+        let r = babelflow_charm::CharmController::new(2)
+            .run(&graph, &map, &reg, cfg.initial_inputs(&acq))
+            .unwrap();
+        assert_eq!(canonical_outputs(&r), canon, "charm");
+
+        let r = babelflow_legion::LegionSpmdController::new(2)
+            .run(&graph, &map, &reg, cfg.initial_inputs(&acq))
+            .unwrap();
+        assert_eq!(canonical_outputs(&r), canon, "legion-spmd");
+    }
+
+    #[test]
+    fn zero_jitter_recovers_zero_deviation() {
+        let acq = brain_acquisition(&BrainParams {
+            grid: (2, 2),
+            tile: 16,
+            overlap: 0.25,
+            max_jitter: 0,
+            noise: 0.0,
+            seed: 1,
+        });
+        let cfg = RegisterConfig::for_acquisition(&acq, 1, 1);
+        let graph = cfg.graph();
+        let report = run_serial(&graph, &cfg.registry(), cfg.initial_inputs(&acq)).unwrap();
+        let pos = cfg.positions(&report);
+        assert!(pos.list.iter().all(|&(_, d)| d == (0, 0, 0)), "{pos:?}");
+    }
+}

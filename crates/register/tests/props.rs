@@ -1,0 +1,64 @@
+//! Property-based tests for the offset search: any shift within the
+//! window is recovered exactly on textured data, and the solve stage
+//! reconstructs arbitrary consistent jitter fields.
+
+use babelflow_data::Grid3;
+use babelflow_graphs::NeighborGraph;
+use babelflow_register::{search_offset, solve_positions, EdgeEstimate};
+use proptest::prelude::*;
+
+fn texture(dims: (usize, usize, usize), shift: (i64, i64, i64), seed: u64) -> Grid3 {
+    Grid3::from_fn(dims, |x, y, z| {
+        let (x, y, z) = (x as i64 + shift.0, y as i64 + shift.1, z as i64 + shift.2);
+        let h = (seed ^ ((x * 73856093) ^ (y * 19349663) ^ (z * 83492791)) as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 40) as f32 / 16777216.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn recovers_any_shift_within_window(
+        dx in -2i64..=2,
+        dy in -2i64..=2,
+        dz in -2i64..=2,
+        seed in any::<u64>(),
+    ) {
+        let a = texture((12, 12, 12), (0, 0, 0), seed);
+        let b = texture((12, 12, 12), (dx, dy, dz), seed);
+        let est = search_offset(&a, (0, 0, 0), &b, (0, 0, 0), (0, 0, 0), 2);
+        prop_assert_eq!(est.offset, (dx, dy, dz));
+        prop_assert!(est.score > 0.99, "score {}", est.score);
+    }
+
+    /// BFS solve reproduces any consistent jitter assignment from its
+    /// pairwise differences, up to the anchor.
+    #[test]
+    fn solve_reconstructs_consistent_jitters(
+        gx in 2u64..5,
+        gy in 1u64..5,
+        jitters in proptest::collection::vec((-3i64..=3, -3i64..=3, -3i64..=3), 25),
+    ) {
+        let g = NeighborGraph::new(gx, gy, 1);
+        let n = (gx * gy) as usize;
+        prop_assume!(jitters.len() >= n);
+        let estimates: Vec<EdgeEstimate> = (0..g.edges())
+            .map(|e| {
+                let edge = g.edge(e);
+                let (ja, jb) = (jitters[edge.a as usize], jitters[edge.b as usize]);
+                EdgeEstimate {
+                    offset: (jb.0 - ja.0, jb.1 - ja.1, jb.2 - ja.2),
+                    score: 1.0,
+                }
+            })
+            .collect();
+        let pos = solve_positions(&g, &estimates);
+        let j0 = jitters[0];
+        for &(v, dev) in &pos.list {
+            let jv = jitters[v as usize];
+            prop_assert_eq!(dev, (jv.0 - j0.0, jv.1 - j0.1, jv.2 - j0.2), "volume {}", v);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Software volume ray-casting.
+//!
+//! The paper's rendering stage is "implemented using VTK volume rendering
+//! (i.e., SmartVolumeMapper with raycasting)". VTK is not available in
+//! Rust, so this module is the substitute: an orthographic ray-caster
+//! looking down the +Z axis with front-to-back alpha compositing and a
+//! configurable color/opacity transfer function. Any renderer whose cost
+//! is proportional to rays × samples preserves the stage's embarrassingly
+//! parallel scaling (Fig. 10a).
+
+use babelflow_data::Grid3;
+
+use crate::image::ImageFragment;
+
+/// Piecewise-linear transfer function: scalar value → premultiplied RGBA
+/// contribution per unit step.
+#[derive(Clone, Debug)]
+pub struct TransferFunction {
+    /// Scalar mapped to zero contribution.
+    pub lo: f32,
+    /// Scalar mapped to full contribution.
+    pub hi: f32,
+    /// Per-sample opacity scale (extinction density).
+    pub density: f32,
+}
+
+impl Default for TransferFunction {
+    fn default() -> Self {
+        TransferFunction { lo: 0.2, hi: 1.0, density: 0.15 }
+    }
+}
+
+impl TransferFunction {
+    /// Classify a scalar sample into premultiplied RGBA.
+    #[inline]
+    pub fn classify(&self, v: f32) -> [f32; 4] {
+        let t = ((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        if t <= 0.0 {
+            return [0.0; 4];
+        }
+        let alpha = (t * self.density).min(1.0);
+        // A fire-like ramp: dark red -> orange -> yellow-white.
+        let r = t.min(1.0);
+        let g = (t * t).min(1.0) * 0.8;
+        let b = (t * t * t).min(1.0) * 0.3;
+        [r * alpha, g * alpha, b * alpha, alpha]
+    }
+}
+
+/// Camera/image plane configuration. Orthographic, looking down +Z: world
+/// (x, y) maps linearly onto the image, smaller world z is nearer.
+#[derive(Clone, Debug)]
+pub struct RenderParams {
+    /// Final image extent.
+    pub image: (u32, u32),
+    /// World (global grid) extent being imaged.
+    pub world: (usize, usize),
+    /// Ray step in world units.
+    pub step: f32,
+    /// Transfer function.
+    pub tf: TransferFunction,
+}
+
+impl RenderParams {
+    /// Image pixels per world unit along X and Y.
+    fn scale(&self) -> (f32, f32) {
+        (self.image.0 as f32 / self.world.0 as f32, self.image.1 as f32 / self.world.1 as f32)
+    }
+}
+
+/// Ray-cast one block. `origin` is the block's world-space origin; the
+/// returned fragment covers the block's XY projection and carries the
+/// block's starting Z as its depth.
+pub fn render_block(params: &RenderParams, origin: (usize, usize, usize), block: &Grid3) -> ImageFragment {
+    let (sx, sy) = params.scale();
+    // Pixel range covered by the block's projection.
+    let px0 = (origin.0 as f32 * sx).floor() as u32;
+    let py0 = (origin.1 as f32 * sy).floor() as u32;
+    let px1 = (((origin.0 + block.dims.x) as f32) * sx).ceil().min(params.image.0 as f32) as u32;
+    let py1 = (((origin.1 + block.dims.y) as f32) * sy).ceil().min(params.image.1 as f32) as u32;
+    let rect = (px0, py0, px1.saturating_sub(px0), py1.saturating_sub(py0));
+    let mut frag = ImageFragment::empty(params.image, rect, origin.2 as f32);
+
+    for py in py0..py1 {
+        for px in px0..px1 {
+            // Pixel center in block-local world coordinates.
+            let wx = ((px as f32 + 0.5) / sx - origin.0 as f32)
+                .clamp(0.0, (block.dims.x - 1) as f32);
+            let wy = ((py as f32 + 0.5) / sy - origin.1 as f32)
+                .clamp(0.0, (block.dims.y - 1) as f32);
+            // Front-to-back march through the block.
+            let mut acc = [0.0f32; 4];
+            let mut z = 0.0f32;
+            let zmax = (block.dims.z - 1) as f32;
+            while z <= zmax && acc[3] < 0.98 {
+                let v = block.sample_trilinear(wx, wy, z);
+                let s = params.tf.classify(v);
+                let t = 1.0 - acc[3];
+                acc[0] += t * s[0];
+                acc[1] += t * s[1];
+                acc[2] += t * s[2];
+                acc[3] += t * s[3];
+                z += params.step;
+            }
+            let i = ((py - py0) * rect.2 + (px - px0)) as usize;
+            frag.rgba[i] = acc;
+        }
+    }
+    frag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_block(n: usize) -> Grid3 {
+        Grid3::from_fn((n, n, n), |_, _, _| 1.0)
+    }
+
+    fn cold_block(n: usize) -> Grid3 {
+        Grid3::zeros((n, n, n))
+    }
+
+    fn params(n: usize) -> RenderParams {
+        RenderParams { image: (n as u32, n as u32), world: (n, n), step: 1.0, tf: TransferFunction::default() }
+    }
+
+    #[test]
+    fn hot_volume_renders_opaque_pixels() {
+        let p = RenderParams {
+            tf: TransferFunction { lo: 0.0, hi: 1.0, density: 0.5 },
+            ..params(8)
+        };
+        let f = render_block(&p, (0, 0, 0), &hot_block(8));
+        assert_eq!(f.rect, (0, 0, 8, 8));
+        // All rays accumulate close to full opacity.
+        assert!(f.rgba.iter().all(|px| px[3] > 0.9), "alpha too low");
+    }
+
+    #[test]
+    fn empty_volume_renders_transparent() {
+        let p = params(8);
+        let f = render_block(&p, (0, 0, 0), &cold_block(8));
+        assert!(f.rgba.iter().all(|px| *px == [0.0; 4]));
+    }
+
+    #[test]
+    fn fragment_covers_projection_only() {
+        // A block occupying the second half of X projects onto the right
+        // half of the image.
+        let p = RenderParams { image: (16, 16), world: (16, 16), ..params(16) };
+        let f = render_block(&p, (8, 0, 0), &hot_block(8));
+        assert_eq!(f.rect.0, 8);
+        assert_eq!(f.rect.2, 8);
+        assert_eq!(f.depth, 0.0);
+    }
+
+    #[test]
+    fn depth_is_block_z_origin() {
+        let p = params(8);
+        let f = render_block(&p, (0, 0, 24), &hot_block(8));
+        assert_eq!(f.depth, 24.0);
+    }
+
+    #[test]
+    fn transfer_function_clamps() {
+        let tf = TransferFunction { lo: 0.0, hi: 1.0, density: 0.5 };
+        assert_eq!(tf.classify(-1.0), [0.0; 4]);
+        let full = tf.classify(2.0);
+        assert!(full[3] <= 0.5 + 1e-6);
+        assert!(full[0] > 0.0);
+    }
+
+    #[test]
+    fn early_termination_matches_saturation() {
+        // A deep fully hot block saturates alpha near 0.98+.
+        let p = RenderParams { step: 0.5, ..params(8) };
+        let f = render_block(&p, (0, 0, 0), &hot_block(8));
+        assert!(f.rgba.iter().all(|px| px[3] <= 1.0 + 1e-6));
+    }
+}

@@ -1,0 +1,273 @@
+//! BabelFlow tasks for the two-stage rendering pipeline (§V-B).
+//!
+//! "A common two-stage visualization pipeline consisting of a rendering
+//! and a compositing stage." The volume is decomposed into Z slabs; leaf
+//! tasks ray-cast their slab; compositing uses either the reduction
+//! dataflow (Listing 1, Fig. 10e) or binary swap (Fig. 7, Fig. 10f).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use babelflow_core::{
+    codec::DecodeError, Decoder, Encoder, InitialInputs, Payload, PayloadData, Registry,
+    RunReport, TaskGraph,
+};
+use babelflow_data::{BlockDecomp, Grid3, Idx3};
+use babelflow_graphs::{binary_swap, reduction, BinarySwap, Reduction};
+use bytes::Bytes;
+
+use crate::image::{binary_swap_region, ImageFragment};
+use crate::raycast::{render_block, RenderParams};
+
+/// A Z slab handed to a rendering leaf.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlabData {
+    /// World-space origin of the slab.
+    pub origin: (usize, usize, usize),
+    /// The samples.
+    pub grid: Grid3,
+}
+
+impl PayloadData for SlabData {
+    fn encode(&self) -> Bytes {
+        let mut e = Encoder::new();
+        e.put_usize(self.origin.0);
+        e.put_usize(self.origin.1);
+        e.put_usize(self.origin.2);
+        e.put_bytes(&self.grid.encode());
+        e.finish()
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(buf);
+        let origin = (d.get_usize()?, d.get_usize()?, d.get_usize()?);
+        let grid = Grid3::decode(d.get_bytes()?)?;
+        Ok(SlabData { origin, grid })
+    }
+}
+
+/// Configuration of a distributed rendering run.
+///
+/// Correctness of both compositing dataflows relies on leaf order being
+/// depth order — guaranteed here by decomposing the volume into Z slabs
+/// fed to the leaves in slab order. Every composite then combines groups
+/// of slabs that are contiguous in depth (separated by a plane), so the
+/// non-commutative OVER operator is applied in a globally consistent
+/// order. Arbitrary (non-plane-separable) decompositions would need
+/// per-pixel depth compositing instead.
+#[derive(Clone, Debug)]
+pub struct RenderConfig {
+    /// Global volume extent.
+    pub dims: Idx3,
+    /// Number of Z slabs (= rendering leaves).
+    pub slabs: u64,
+    /// Camera and transfer function.
+    pub params: RenderParams,
+    /// Valence of the reduction compositing tree.
+    pub valence: u64,
+}
+
+impl RenderConfig {
+    /// Slab decomposition along Z.
+    pub fn decomp(&self) -> BlockDecomp {
+        BlockDecomp::new(self.dims, Idx3::new(1, 1, self.slabs as usize))
+    }
+
+    /// Initial inputs keyed by the given leaf task ids (slab order).
+    pub fn initial_inputs(&self, grid: &Grid3, leaf_ids: &[babelflow_core::TaskId]) -> InitialInputs {
+        let decomp = self.decomp();
+        assert_eq!(leaf_ids.len(), decomp.count());
+        let mut init = HashMap::new();
+        for (i, &id) in leaf_ids.iter().enumerate() {
+            let b = decomp.block(grid, i);
+            let data = SlabData { origin: (b.origin.x, b.origin.y, b.origin.z), grid: b.grid };
+            init.insert(id, vec![Payload::wrap(data)]);
+        }
+        init
+    }
+
+    /// The reduction compositing graph.
+    pub fn reduction_graph(&self) -> Reduction {
+        Reduction::new(self.slabs, self.valence)
+    }
+
+    /// Registry for the reduction pipeline: leaf = render, reduce =
+    /// composite, root = composite + emit final image.
+    pub fn reduction_registry(&self) -> Registry {
+        let g = self.reduction_graph();
+        let cb = g.callback_ids();
+        let params = Arc::new(self.params.clone());
+        let mut reg = Registry::new();
+
+        {
+            let params = params.clone();
+            reg.register(cb[reduction::LEAF_CB], move |inputs, _id| {
+                let slab = inputs[0].extract::<SlabData>().expect("leaf input is a slab");
+                vec![Payload::wrap(render_block(&params, slab.origin, &slab.grid))]
+            });
+        }
+        reg.register(cb[reduction::REDUCE_CB], |inputs, _id| {
+            vec![Payload::wrap(composite_sorted(&inputs))]
+        });
+        reg.register(cb[reduction::ROOT_CB], |inputs, _id| {
+            vec![Payload::wrap(composite_sorted(&inputs))]
+        });
+        reg
+    }
+
+    /// The binary-swap compositing graph.
+    pub fn binary_swap_graph(&self) -> BinarySwap {
+        BinarySwap::new(self.slabs)
+    }
+
+    /// Registry for the binary-swap pipeline: leaf = render + first split,
+    /// swap = composite + split, write = composite + emit tile.
+    pub fn binary_swap_registry(&self) -> Registry {
+        let g = Arc::new(self.binary_swap_graph());
+        let cb = g.callback_ids();
+        let params = Arc::new(self.params.clone());
+        let height = self.params.image.1;
+        let mut reg = Registry::new();
+
+        {
+            let (g, params) = (g.clone(), params.clone());
+            reg.register(cb[binary_swap::LEAF_CB], move |inputs, id| {
+                let slab = inputs[0].extract::<SlabData>().expect("leaf input is a slab");
+                let frag = render_block(&params, slab.origin, &slab.grid);
+                let (_, i) = g.position(id);
+                split_outputs(&frag, height, 1, i)
+            });
+        }
+        {
+            let g = g.clone();
+            reg.register(cb[binary_swap::SWAP_CB], move |inputs, id| {
+                let merged = composite_pair(&inputs);
+                let (round, i) = g.position(id);
+                split_outputs(&merged, height, round + 1, i)
+            });
+        }
+        reg.register(cb[binary_swap::WRITE_CB], |inputs, _id| {
+            vec![Payload::wrap(composite_pair(&inputs))]
+        });
+        reg
+    }
+
+    /// Serial oracle: render every slab and composite front-to-back.
+    pub fn oracle_image(&self, grid: &Grid3) -> ImageFragment {
+        let decomp = self.decomp();
+        let mut frags: Vec<ImageFragment> = (0..decomp.count())
+            .map(|i| {
+                let b = decomp.block(grid, i);
+                render_block(&self.params, (b.origin.x, b.origin.y, b.origin.z), &b.grid)
+            })
+            .collect();
+        frags.sort_by(|a, b| a.depth.partial_cmp(&b.depth).expect("finite depths"));
+        let mut out = frags[0].clone();
+        for f in &frags[1..] {
+            out = ImageFragment::over(&out, f);
+        }
+        out
+    }
+
+    /// Collect the final image of a reduction run.
+    pub fn final_image(&self, report: &RunReport) -> ImageFragment {
+        let frags: Vec<ImageFragment> = report
+            .outputs
+            .values()
+            .flat_map(|ps| ps.iter())
+            .map(|p| (*p.extract::<ImageFragment>().expect("image output")).clone())
+            .collect();
+        assemble(&frags)
+    }
+}
+
+/// Composite any number of fragments in depth order.
+fn composite_sorted(inputs: &[Payload]) -> ImageFragment {
+    let mut frags: Vec<Arc<ImageFragment>> = inputs
+        .iter()
+        .map(|p| p.extract::<ImageFragment>().expect("composite inputs are fragments"))
+        .collect();
+    frags.sort_by(|a, b| a.depth.partial_cmp(&b.depth).expect("finite depths"));
+    let mut out = (*frags[0]).clone();
+    for f in &frags[1..] {
+        out = ImageFragment::over(&out, f);
+    }
+    out
+}
+
+/// Composite exactly two fragments by depth.
+fn composite_pair(inputs: &[Payload]) -> ImageFragment {
+    let a = inputs[0].extract::<ImageFragment>().expect("fragment");
+    let b = inputs[1].extract::<ImageFragment>().expect("fragment");
+    ImageFragment::composite_by_depth(&a, &b)
+}
+
+/// The two outputs of a binary-swap stage: the kept half (slot 0, region
+/// of `index` at `round`) and the sent half (slot 1, the partner's
+/// region).
+fn split_outputs(frag: &ImageFragment, height: u32, round: u32, index: u64) -> Vec<Payload> {
+    let keep = binary_swap_region(height, round, index);
+    let send = binary_swap_region(height, round, index ^ (1 << (round - 1)));
+    vec![
+        Payload::wrap(frag.crop_rows(keep.0, keep.1)),
+        Payload::wrap(frag.crop_rows(send.0, send.1)),
+    ]
+}
+
+/// Assemble disjoint fragments (e.g. binary-swap tiles) into one image.
+pub fn assemble(frags: &[ImageFragment]) -> ImageFragment {
+    assert!(!frags.is_empty(), "nothing to assemble");
+    let mut out = frags[0].clone();
+    for f in &frags[1..] {
+        out = ImageFragment::over(&out, f);
+    }
+    out
+}
+
+/// Maximum per-channel difference between two images over the full extent.
+pub fn max_pixel_diff(a: &ImageFragment, b: &ImageFragment) -> f32 {
+    assert_eq!(a.full, b.full);
+    let mut worst = 0.0f32;
+    for y in 0..a.full.1 {
+        for x in 0..a.full.0 {
+            let pa = a.at_absolute(x, y).unwrap_or([0.0; 4]);
+            let pb = b.at_absolute(x, y).unwrap_or([0.0; 4]);
+            for c in 0..4 {
+                worst = worst.max((pa[c] - pb[c]).abs());
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_payload_roundtrip() {
+        let s = SlabData {
+            origin: (0, 0, 4),
+            grid: Grid3::from_fn((2, 2, 2), |x, y, z| (x + y + z) as f32),
+        };
+        assert_eq!(SlabData::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn split_outputs_partition_the_region() {
+        let f = ImageFragment::empty((4, 8), (0, 0, 4, 8), 1.0);
+        let outs = split_outputs(&f, 8, 1, 0);
+        let keep = outs[0].extract::<ImageFragment>().unwrap();
+        let send = outs[1].extract::<ImageFragment>().unwrap();
+        assert_eq!(keep.rect, (0, 0, 4, 4));
+        assert_eq!(send.rect, (0, 4, 4, 4));
+    }
+
+    #[test]
+    fn assemble_covers_union() {
+        let a = ImageFragment::empty((4, 4), (0, 0, 4, 2), 0.0);
+        let b = ImageFragment::empty((4, 4), (0, 2, 4, 2), 1.0);
+        let whole = assemble(&[a, b]);
+        assert_eq!(whole.rect, (0, 0, 4, 4));
+    }
+}

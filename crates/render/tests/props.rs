@@ -1,0 +1,105 @@
+//! Property-based tests for image compositing: region schedules partition
+//! the image for arbitrary heights, and compositing agrees with the
+//! sequential oracle for arbitrary fragment stacks.
+
+use babelflow_render::{binary_swap_region, icet_binary_swap, icet_reduce, ImageFragment};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary-swap regions partition the rows exactly, at every round,
+    /// for any (odd or even) image height.
+    #[test]
+    fn binary_swap_regions_partition_any_height(height in 1u32..200, rounds in 0u32..6) {
+        let n = 1u64 << rounds;
+        let mut covered = vec![0u32; height as usize];
+        for i in 0..n {
+            let (lo, len) = binary_swap_region(height, rounds, i);
+            for y in lo..lo + len {
+                covered[y as usize] += 1;
+            }
+        }
+        // Each row covered exactly 2^rounds / (#distinct regions) times…
+        // distinct regions have multiplicity n / 2^rounds = 1; identical
+        // (round, low-bits) pairs repeat. Count distinct regions instead.
+        let distinct: std::collections::HashSet<(u32, u32)> =
+            (0..n).map(|i| binary_swap_region(height, rounds, i)).collect();
+        let mut exact = vec![0u32; height as usize];
+        for &(lo, len) in &distinct {
+            for y in lo..lo + len {
+                exact[y as usize] += 1;
+            }
+        }
+        prop_assert!(exact.iter().all(|&c| c == 1), "rows multiply covered: {exact:?}");
+    }
+
+    /// Tree and binary-swap compositing agree with sequential
+    /// back-to-front OVER for arbitrary fragment stacks.
+    #[test]
+    fn compositing_strategies_agree(
+        n_log in 1u32..4,
+        colors in proptest::collection::vec((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0, 0.0f32..0.9), 8),
+        depths in proptest::collection::vec(0u32..100, 8),
+    ) {
+        let n = 1usize << n_log;
+        prop_assume!({
+            let mut d = depths[..n].to_vec();
+            d.sort_unstable();
+            d.dedup();
+            d.len() == n // distinct depths: OVER order is unambiguous
+        });
+        let frags: Vec<ImageFragment> = (0..n)
+            .map(|i| {
+                let (r, g, b, a) = colors[i];
+                let mut f = ImageFragment::empty((4, 4), (0, 0, 4, 4), depths[i] as f32);
+                f.rgba.fill([r * a, g * a, b * a, a]);
+                f
+            })
+            .collect();
+
+        // Oracle: sort by depth, sequential OVER.
+        let mut sorted = frags.clone();
+        sorted.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap());
+        let mut oracle = sorted[0].clone();
+        for f in &sorted[1..] {
+            oracle = ImageFragment::over(&oracle, f);
+        }
+
+        let tree = icet_reduce(frags.clone(), 2);
+        let swap = icet_binary_swap(frags);
+        for (out, name) in [(&tree, "tree"), (&swap, "swap")] {
+            for y in 0..4 {
+                for x in 0..4 {
+                    let a = out.at_absolute(x, y).unwrap();
+                    let o = oracle.at_absolute(x, y).unwrap();
+                    for c in 0..4 {
+                        prop_assert!(
+                            (a[c] - o[c]).abs() < 1e-4,
+                            "{name} pixel ({x},{y})[{c}]: {} vs {}", a[c], o[c]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cropping then assembling row splits reconstructs the fragment.
+    #[test]
+    fn crop_rows_roundtrip(height in 2u32..64, split in 1u32..63) {
+        prop_assume!(split < height);
+        let mut f = ImageFragment::empty((3, height), (0, 0, 3, height), 1.0);
+        for (i, px) in f.rgba.iter_mut().enumerate() {
+            px[0] = i as f32;
+            px[3] = 1.0;
+        }
+        let top = f.crop_rows(0, split);
+        let bottom = f.crop_rows(split, height - split);
+        let back = ImageFragment::over(&top, &bottom);
+        for y in 0..height {
+            for x in 0..3 {
+                prop_assert_eq!(back.at_absolute(x, y), f.at_absolute(x, y));
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! # babelflow-sim
+//!
+//! Discrete-event cluster simulator for at-scale studies. The paper's
+//! evaluation sweeps 128–32768 cores of a Cray XC40; this crate replays
+//! the same task graphs with the same per-runtime scheduling policies in
+//! virtual time on a modeled machine ([`MachineConfig`]), using task costs
+//! calibrated from the real kernel implementations ([`models`]). Runtime
+//! behaviours — asynchronous vs blocking MPI, Charm++ load balancing,
+//! Legion SPMD/index-launch overheads, the IceT fast path — are selected
+//! by [`RuntimeCosts`] presets.
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod des;
+pub mod machine;
+pub mod models;
+
+pub use costs::{LbModel, RuntimeCosts, Schedule};
+pub use des::{simulate, SimReport, TaskCostModel};
+pub use machine::{MachineConfig, Ns};
+pub use models::{imbalance, CompositeKind, MergeTreeCost, RegisterCost, RenderCost};
+
+#[cfg(test)]
+mod tests {
+    use babelflow_core::TaskMap;
+    use babelflow_graphs::{KWayMerge, Reduction};
+
+    use super::*;
+
+    fn merge_sim(cores: u32, rc: RuntimeCosts) -> SimReport {
+        merge_sim_sized(64, cores, rc)
+    }
+
+    fn merge_sim_sized(leaves: u64, cores: u32, rc: RuntimeCosts) -> SimReport {
+        let g = KWayMerge::new(leaves, 8);
+        // Round-robin placement, as in Listing 1 of the paper.
+        let map = babelflow_core::ModuloMap::new(
+            cores,
+            babelflow_core::TaskGraph::size(&g) as u64,
+        );
+        let cost = MergeTreeCost::new(g.clone(), 64 * 64 * 64);
+        let machine = MachineConfig::shaheen(cores);
+        simulate(&g, &|id| map.shard(id).0, &cost, &machine, &rc)
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = merge_sim(32, RuntimeCosts::mpi_async());
+        let b = merge_sim(32, RuntimeCosts::mpi_async());
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn more_cores_is_faster_strong_scaling() {
+        let t8 = merge_sim(8, RuntimeCosts::mpi_async());
+        let t64 = merge_sim(64, RuntimeCosts::mpi_async());
+        assert!(
+            t64.makespan_ns < t8.makespan_ns,
+            "64 cores ({}) should beat 8 cores ({})",
+            t64.makespan_ns,
+            t8.makespan_ns
+        );
+        // Compute totals are identical — only the schedule changes.
+        assert_eq!(t8.compute_ns, t64.compute_ns);
+    }
+
+    #[test]
+    fn blocking_is_slower_than_async_under_imbalance() {
+        // Mid-range concurrency: several tasks per rank, so the fixed
+        // schedule and its phase barriers cost real time.
+        let a = merge_sim_sized(512, 32, RuntimeCosts::mpi_async());
+        let b = merge_sim_sized(512, 32, RuntimeCosts::mpi_blocking());
+        assert!(
+            b.makespan_ns > a.makespan_ns,
+            "blocking ({}) should exceed async ({})",
+            b.makespan_ns,
+            a.makespan_ns
+        );
+    }
+
+    #[test]
+    fn charm_lb_migrates() {
+        let c = merge_sim(16, RuntimeCosts::charm());
+        assert!(c.migrations > 0, "LB should trigger migrations");
+    }
+
+    #[test]
+    fn index_launch_pays_central_staging() {
+        // Enough tasks — and small enough per-task work — that the
+        // per-point central launch cost shows (the Fig. 2 regime).
+        let sim = |rc: RuntimeCosts| {
+            let g = KWayMerge::new(512, 8);
+            let map = babelflow_core::ModuloMap::new(
+                64,
+                babelflow_core::TaskGraph::size(&g) as u64,
+            );
+            let cost = MergeTreeCost::new(g.clone(), 32 * 32 * 32);
+            let machine = MachineConfig::shaheen(64);
+            simulate(&g, &|id| map.shard(id).0, &cost, &machine, &rc)
+        };
+        let spmd = sim(RuntimeCosts::legion_spmd());
+        let il = sim(RuntimeCosts::legion_index_launch());
+        assert!(il.staging_ns > spmd.staging_ns);
+        assert!(
+            il.makespan_ns > spmd.makespan_ns,
+            "IL ({}) should exceed SPMD ({})",
+            il.makespan_ns,
+            spmd.makespan_ns
+        );
+    }
+
+    #[test]
+    fn compositing_sim_runs_reduction() {
+        let leaves = 128u64;
+        let g = Reduction::new(leaves, 2);
+        let cost = RenderCost::new(CompositeKind::Reduction(g.clone()), (2048, 2048), 64.0);
+        let machine = MachineConfig::shaheen(leaves as u32);
+        let rc = RuntimeCosts::mpi_async();
+        let map = babelflow_core::ModuloMap::new(
+            leaves as u32,
+            babelflow_core::TaskGraph::size(&g) as u64,
+        );
+        let r = simulate(&g, &|id| map.shard(id).0, &cost, &machine, &rc);
+        assert!(r.makespan_ns > 0);
+        assert_eq!(r.tasks, babelflow_core::TaskGraph::size(&g) as u64);
+        assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn icet_beats_task_graph_runtimes_on_compositing_only() {
+        let leaves = 64u64;
+        let g = Reduction::new(leaves, 2);
+        let mut cost = RenderCost::new(CompositeKind::Reduction(g.clone()), (2048, 2048), 64.0);
+        cost.render_at_leaves = false; // compositing-only (Fig. 10e)
+        let machine = MachineConfig::shaheen(leaves as u32);
+        let map = babelflow_core::ModuloMap::new(
+            leaves as u32,
+            babelflow_core::TaskGraph::size(&g) as u64,
+        );
+        let plc = |id: babelflow_core::TaskId| map.shard(id).0;
+        let icet = simulate(&g, &plc, &cost, &machine, &RuntimeCosts::icet());
+        let mpi = simulate(&g, &plc, &cost, &machine, &RuntimeCosts::mpi_async());
+        assert!(
+            icet.makespan_ns < mpi.makespan_ns,
+            "IceT ({}) should beat MPI ({})",
+            icet.makespan_ns,
+            mpi.makespan_ns
+        );
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use babelflow_core::TaskMap;
+    use babelflow_graphs::{KWayMerge, MergeTreeMap};
+
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn probe_scaling() {
+        let leaves = 512u64;
+        for cores in [8u32, 16, 32, 64, 128, 256, 512] {
+            let g = KWayMerge::new(leaves, 8);
+            let map = babelflow_core::ModuloMap::new(cores, babelflow_core::TaskGraph::size(&g) as u64);
+            let _ = MergeTreeMap::new(g.clone(), cores);
+            let cost = MergeTreeCost::new(g.clone(), 32 * 32 * 32);
+            let machine = MachineConfig::shaheen(cores);
+            let a = simulate(&g, &|id| map.shard(id).0, &cost, &machine, &RuntimeCosts::mpi_async());
+            let b = simulate(&g, &|id| map.shard(id).0, &cost, &machine, &RuntimeCosts::mpi_blocking());
+            let c = simulate(&g, &|id| map.shard(id).0, &cost, &machine, &RuntimeCosts::charm());
+            let l = simulate(&g, &|id| map.shard(id).0, &cost, &machine, &RuntimeCosts::legion_spmd());
+            let il = simulate(&g, &|id| map.shard(id).0, &cost, &machine, &RuntimeCosts::legion_index_launch());
+            println!("cores={cores:5} async={:.3}s blocking={:.3}s charm={:.3}s legion={:.3}s il={:.3}s | legion: staging={:.4}s compute={:.3}s ovh={:.4}s msgs={} | charm migr={}",
+                a.seconds(), b.seconds(), c.seconds(), l.seconds(), il.seconds(),
+                l.staging_ns as f64 / 1e9, l.compute_ns as f64 / 1e9, l.overhead_ns as f64 / 1e9, l.messages, c.migrations);
+        }
+    }
+}
+
+#[cfg(test)]
+mod barrier_probe {
+    use babelflow_core::{CallbackId, ExplicitGraph, Task, TaskId};
+
+    use super::*;
+
+    struct FixedCost;
+    impl TaskCostModel for FixedCost {
+        fn compute_ns(&self, task: &Task, _in: &[u64]) -> Ns {
+            match task.id.0 {
+                0 => 100_000, // slow round-0 task on core 0
+                1 => 10_000,  // fast round-0 task on core 1
+                _ => 10_000,  // round-1 task on core 1
+            }
+        }
+        fn output_bytes(&self, task: &Task, _in: &[u64]) -> Vec<u64> {
+            vec![8; task.fan_out()]
+        }
+        fn external_input_bytes(&self, _t: &Task, _s: usize) -> u64 {
+            8
+        }
+    }
+
+    fn graph() -> ExplicitGraph {
+        // 0 (slow) -> ext ; 1 -> 2 ; all depend only as drawn.
+        let mut a = Task::new(TaskId(0), CallbackId(0));
+        a.incoming = vec![TaskId::EXTERNAL];
+        a.outgoing = vec![vec![TaskId::EXTERNAL]];
+        let mut b = Task::new(TaskId(1), CallbackId(0));
+        b.incoming = vec![TaskId::EXTERNAL];
+        b.outgoing = vec![vec![TaskId(2)]];
+        let mut c = Task::new(TaskId(2), CallbackId(0));
+        c.incoming = vec![TaskId(1)];
+        c.outgoing = vec![vec![TaskId::EXTERNAL]];
+        ExplicitGraph::new(vec![a, b, c], vec![CallbackId(0)])
+    }
+
+    #[test]
+    #[ignore]
+    fn probe_barrier() {
+        let g = graph();
+        let machine = MachineConfig::shaheen(2);
+        let plc = |id: TaskId| if id.0 == 0 { 0 } else { 1 };
+        let a = simulate(&g, &plc, &FixedCost, &machine, &RuntimeCosts::mpi_async());
+        let b = simulate(&g, &plc, &FixedCost, &machine, &RuntimeCosts::mpi_blocking());
+        println!("async={} blocking={}", a.makespan_ns, b.makespan_ns);
+        // async: task 2 done ~ 10k+10k = 20k. blocking: round 1 opens at
+        // 100k -> task 2 done ~ 110k.
+        assert!(b.makespan_ns > 100_000 + 10_000 - 1);
+    }
+}
+
+#[cfg(test)]
+mod legion_probe {
+    use babelflow_core::TaskMap;
+    use babelflow_graphs::KWayMerge;
+
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn probe_legion_knobs() {
+        let leaves = 512u64;
+        let cores = 32u32;
+        let g = KWayMerge::new(leaves, 8);
+        let map = babelflow_core::ModuloMap::new(cores, babelflow_core::TaskGraph::size(&g) as u64);
+        let cost = MergeTreeCost::new(g.clone(), 32 * 32 * 32);
+        let machine = MachineConfig::shaheen(cores);
+        let mut rc = RuntimeCosts::legion_spmd();
+        for (label, f) in [
+            ("full", None::<fn(&mut RuntimeCosts)>),
+            ("no-central", Some(|r: &mut RuntimeCosts| r.central_overhead_ns = 0)),
+            ("no-upfront", Some(|r: &mut RuntimeCosts| r.upfront_launch_ns = 0)),
+            ("mpi-overheads", Some(|r: &mut RuntimeCosts| {
+                r.task_overhead_ns = 2_000;
+                r.msg_cpu_ns = 800;
+                r.ser_ns_per_byte = 0.05;
+                r.deser_ns_per_byte = 0.05;
+            })),
+        ] {
+            let mut r = RuntimeCosts::legion_spmd();
+            if let Some(f) = f {
+                f(&mut r);
+            }
+            let rep = simulate(&g, &|id| map.shard(id).0, &cost, &machine, &r);
+            println!("{label:15} {:.3}s", rep.seconds());
+        }
+        let _ = &mut rc;
+    }
+}

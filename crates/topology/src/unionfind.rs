@@ -1,0 +1,88 @@
+//! Union-find (disjoint sets) with path compression and union by size.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Merge the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        big
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.same(0, 1));
+        uf.union(0, 1);
+        assert!(uf.same(0, 1));
+        uf.union(3, 4);
+        uf.union(1, 3);
+        assert!(uf.same(0, 4));
+        assert!(!uf.same(0, 2));
+    }
+
+    #[test]
+    fn union_returns_representative() {
+        let mut uf = UnionFind::new(4);
+        let r = uf.union(0, 1);
+        assert_eq!(uf.find(0), r);
+        assert_eq!(uf.find(1), r);
+        // Union of same set is a no-op returning the existing root.
+        assert_eq!(uf.union(0, 1), r);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        let r = uf.find(0);
+        for i in 0..n {
+            assert_eq!(uf.find(i), r);
+        }
+    }
+}

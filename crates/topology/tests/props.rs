@@ -1,0 +1,119 @@
+//! Property-based tests of the merge-tree algorithms: structural
+//! invariants on random fields, restriction correctness, and end-to-end
+//! distributed-equals-oracle segmentation.
+
+use babelflow_core::run_serial;
+use babelflow_data::{Grid3, Idx3};
+use babelflow_topology::{
+    canonical_partition, merge_segmentations, MergeTree, MergeTreeConfig,
+};
+use proptest::prelude::*;
+
+/// Random 1D field as a path graph.
+fn path_tree(values: &[f32]) -> MergeTree {
+    let nodes: Vec<(u64, f32, bool)> =
+        values.iter().enumerate().map(|(i, &v)| (i as u64, v, false)).collect();
+    let edges: Vec<(u32, u32)> =
+        (1..values.len()).map(|i| ((i - 1) as u32, i as u32)).collect();
+    MergeTree::build(nodes, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merge_tree_is_monotone_forest(values in proptest::collection::vec(-100i32..100, 2..64)) {
+        let vals: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        let t = path_tree(&vals);
+        prop_assert!(t.monotonicity_violations().is_empty());
+        // A connected path always yields exactly one root.
+        prop_assert_eq!(t.roots().len(), 1);
+        // Leaf count equals the number of local maxima under the
+        // tie-broken order.
+        let higher = |i: usize, j: usize| {
+            babelflow_topology::higher(vals[i], i as u64, vals[j], j as u64)
+        };
+        let maxima = (0..vals.len())
+            .filter(|&i| {
+                (i == 0 || higher(i, i - 1)) && (i + 1 == vals.len() || higher(i, i + 1))
+            })
+            .count();
+        prop_assert_eq!(t.leaves().len(), maxima);
+    }
+
+    #[test]
+    fn restriction_preserves_pairwise_merge_heights(
+        values in proptest::collection::vec(-50i32..50, 4..48),
+        keep_mask in proptest::collection::vec(any::<bool>(), 4..48),
+    ) {
+        let vals: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        let full = path_tree(&vals);
+        let keep: Vec<u64> = (0..vals.len() as u64)
+            .filter(|&i| *keep_mask.get(i as usize).unwrap_or(&false))
+            .collect();
+        prop_assume!(keep.len() >= 2);
+        let r = full.restrict(|v| keep.contains(&v));
+        prop_assert!(r.monotonicity_violations().is_empty());
+        for &a in &keep {
+            for &b in &keep {
+                prop_assert_eq!(
+                    r.merge_height(a, b),
+                    full.merge_height(a, b),
+                    "pair ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_commutes_with_direct_construction(
+        values in proptest::collection::vec(-50i32..50, 6..40),
+        cut_frac in 0.2f64..0.8,
+    ) {
+        let vals: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        let cut = ((vals.len() as f64 * cut_frac) as usize).clamp(1, vals.len() - 2);
+        let full = path_tree(&vals);
+        let mk = |range: std::ops::Range<usize>| {
+            let nodes: Vec<(u64, f32, bool)> =
+                range.clone().map(|i| (i as u64, vals[i], false)).collect();
+            let edges: Vec<(u32, u32)> =
+                (1..range.len()).map(|i| ((i - 1) as u32, i as u32)).collect();
+            MergeTree::build(nodes, &edges)
+        };
+        let joined = MergeTree::join(&[&mk(0..cut + 1), &mk(cut..vals.len())]);
+        for a in 0..vals.len() as u64 {
+            for b in 0..vals.len() as u64 {
+                prop_assert_eq!(joined.merge_height(a, b), full.merge_height(a, b));
+            }
+        }
+    }
+
+    /// The big one: distributed segmentation equals the global oracle on
+    /// random 3D fields, for random thresholds and decompositions.
+    #[test]
+    fn distributed_segmentation_matches_oracle_on_random_fields(
+        seed in any::<u64>(),
+        threshold in -20i32..20,
+        blocks in prop_oneof![Just((2usize, 1usize, 1usize)), Just((2, 2, 1)), Just((2, 2, 2))],
+    ) {
+        let n = 8;
+        // Integer-valued random field: plenty of ties (worst case for the
+        // tie-breaking rules).
+        let grid = Grid3::from_fn((n, n, n), |x, y, z| {
+            let h = (seed ^ ((x * 73 + y * 149 + z * 283) as u64))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 59) as i64 - 16) as f32
+        });
+        let cfg = MergeTreeConfig {
+            dims: Idx3::new(n, n, n),
+            blocks: Idx3::new(blocks.0, blocks.1, blocks.2),
+            threshold: threshold as f32,
+            valence: 2,
+        };
+        let graph = cfg.graph();
+        let report = run_serial(&graph, &cfg.registry(), cfg.initial_inputs(&grid)).unwrap();
+        let distributed = merge_segmentations(&cfg.collect_segmentations(&report));
+        let oracle = cfg.oracle_partition(&grid);
+        prop_assert_eq!(canonical_partition(&distributed), canonical_partition(&oracle));
+    }
+}

@@ -1,0 +1,87 @@
+//! Runtime portability demo: one task graph, every backend.
+//!
+//! The paper's central claim is that an algorithm written once against the
+//! EDSL runs natively on MPI, Charm++, and Legion. This example executes
+//! the same merge-tree dataflow on all six controllers of this
+//! reproduction, verifies byte-identical outputs, and prints each
+//! backend's execution statistics — "the framework guarantees the same
+//! tasks are executed, independent of the runtime".
+//!
+//! Run with: `cargo run --release --example runtime_comparison`
+
+use std::time::Instant;
+
+use babelflow::core::{
+    canonical_outputs, Controller, InitialInputs, RunReport, SerialController,
+    TaskGraph, TaskMap,
+};
+use babelflow::data::{hcci_proxy, HcciParams, Idx3};
+use babelflow::graphs::MergeTreeMap;
+use babelflow::topology::MergeTreeConfig;
+
+fn main() {
+    let n = 24;
+    let grid = hcci_proxy(&HcciParams {
+        size: n,
+        kernels: 16,
+        kernel_radius: 0.1,
+        noise_amplitude: 0.15,
+        noise_scale: 4,
+        seed: 7,
+    });
+    let cfg = MergeTreeConfig {
+        dims: Idx3::new(n, n, n),
+        blocks: Idx3::new(2, 2, 2),
+        threshold: 0.4,
+        valence: 2,
+    };
+    let graph = cfg.graph();
+    let registry = cfg.registry();
+    let map = MergeTreeMap::new(graph.clone(), 4);
+
+    let mut controllers: Vec<Box<dyn Controller>> = vec![
+        Box::new(SerialController::new()),
+        Box::new(babelflow::mpi::MpiController::new()),
+        Box::new(babelflow::mpi::BlockingMpiController::new()),
+        Box::new(babelflow::charm::CharmController::new(4)),
+        Box::new(babelflow::legion::LegionSpmdController::new(4)),
+        Box::new(babelflow::legion::LegionIndexLaunchController::new(4)),
+    ];
+
+    println!(
+        "merge-tree dataflow: {} tasks over {} shards\n",
+        graph.size(),
+        map.num_shards()
+    );
+    println!(
+        "{:<18} {:>9} {:>7} {:>8} {:>9} {:>8}",
+        "backend", "wall(ms)", "tasks", "remote", "bytes", "local"
+    );
+
+    let mut reference: Option<_> = None;
+    for c in controllers.iter_mut() {
+        let initial: InitialInputs = cfg.initial_inputs(&grid);
+        let t0 = Instant::now();
+        let report: RunReport =
+            c.run(&graph, &map, &registry, initial).unwrap_or_else(|e| {
+                panic!("{} failed: {e}", c.name());
+            });
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<18} {:>9.1} {:>7} {:>8} {:>9} {:>8}",
+            c.name(),
+            wall,
+            report.stats.tasks_executed,
+            report.stats.remote_messages,
+            report.stats.remote_bytes,
+            report.stats.local_messages
+        );
+
+        let canon = canonical_outputs(&report);
+        match &reference {
+            None => reference = Some(canon),
+            Some(r) => assert_eq!(&canon, r, "{} diverged from serial", c.name()),
+        }
+    }
+    println!("\nall six backends produced byte-identical outputs ✓");
+}

@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,600
+set output 'ablation_relay_overlay.png'
+set title "Ablation: relay overlay vs direct broadcast (32768 blocks)"
+set xlabel "Number of cores"
+set ylabel "Time (sec)"
+set datafile separator ','
+set key top right
+set grid
+set logscale x 2
+plot 'ablation_relay_overlay.csv' every ::1 using 1:2 with linespoints title "relay tree", \
+     'ablation_relay_overlay.csv' every ::1 using 1:3 with linespoints title "direct broadcast"

@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,600
+set output 'ablation_valence.png'
+set title "Ablation: reduction valence (4096 blocks)"
+set xlabel "Number of cores"
+set ylabel "Time (sec)"
+set datafile separator ','
+set key top right
+set grid
+set logscale x 2
+plot 'ablation_valence.csv' every ::1 using 1:2 with linespoints title "k2", \
+     'ablation_valence.csv' every ::1 using 1:3 with linespoints title "k4", \
+     'ablation_valence.csv' every ::1 using 1:4 with linespoints title "k8"

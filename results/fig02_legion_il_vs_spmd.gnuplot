@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,600
+set output 'fig02_legion_il_vs_spmd.png'
+set title "Fig 2: Legion index launches vs SPMD (merge tree, 512^3)"
+set xlabel "Number of cores"
+set ylabel "Time (sec)"
+set datafile separator ','
+set key top right
+set grid
+set logscale x 2
+plot 'fig02_legion_il_vs_spmd.csv' every ::1 using 1:2 with linespoints title "legion il", \
+     'fig02_legion_il_vs_spmd.csv' every ::1 using 1:3 with linespoints title "legion spmd"

@@ -1,0 +1,14 @@
+set terminal pngcairo size 900,600
+set output 'fig03_launcher_overhead.png'
+set title "Fig 3: launcher strong scaling (single launch)"
+set xlabel "Number of tasks/cores"
+set ylabel "Time (sec)"
+set datafile separator ','
+set key top right
+set grid
+set logscale x 2
+set logscale y
+plot 'fig03_launcher_overhead.csv' every ::1 using 1:2 with linespoints title "must epoch total", \
+     'fig03_launcher_overhead.csv' every ::1 using 1:3 with linespoints title "index launch total", \
+     'fig03_launcher_overhead.csv' every ::1 using 1:4 with linespoints title "task staging", \
+     'fig03_launcher_overhead.csv' every ::1 using 1:5 with linespoints title "task computation"

@@ -1,0 +1,13 @@
+set terminal pngcairo size 900,600
+set output 'fig06_merge_tree_scaling.png'
+set title "Fig 6: parallel merge tree across runtimes (1024^3)"
+set xlabel "Number of cores"
+set ylabel "Time (sec)"
+set datafile separator ','
+set key top right
+set grid
+set logscale x 2
+plot 'fig06_merge_tree_scaling.csv' every ::1 using 1:2 with linespoints title "original mpi", \
+     'fig06_merge_tree_scaling.csv' every ::1 using 1:3 with linespoints title "mpi", \
+     'fig06_merge_tree_scaling.csv' every ::1 using 1:4 with linespoints title "charm", \
+     'fig06_merge_tree_scaling.csv' every ::1 using 1:5 with linespoints title "legion"

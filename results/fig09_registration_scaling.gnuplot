@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,600
+set output 'fig09_registration_scaling.png'
+set title "Fig 9: brain data registration"
+set xlabel "Number of nodes"
+set ylabel "Time (sec)"
+set datafile separator ','
+set key top right
+set grid
+set logscale x 2
+plot 'fig09_registration_scaling.csv' every ::1 using 1:2 with linespoints title "mpi", \
+     'fig09_registration_scaling.csv' every ::1 using 1:3 with linespoints title "charm", \
+     'fig09_registration_scaling.csv' every ::1 using 1:4 with linespoints title "legion"

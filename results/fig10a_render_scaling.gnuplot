@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,600
+set output 'fig10a_render_scaling.png'
+set title "Fig 10a: volume rendering"
+set xlabel "Number of cores"
+set ylabel "Time (sec)"
+set datafile separator ','
+set key top right
+set grid
+set logscale x 2
+plot 'fig10a_render_scaling.csv' every ::1 using 1:2 with linespoints title "render"

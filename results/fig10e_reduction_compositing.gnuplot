@@ -1,0 +1,13 @@
+set terminal pngcairo size 900,600
+set output 'fig10e_reduction_compositing.png'
+set title "Fig 10e: reduction compositing"
+set xlabel "Number of cores"
+set ylabel "Time (sec)"
+set datafile separator ','
+set key top right
+set grid
+set logscale x 2
+plot 'fig10e_reduction_compositing.csv' every ::1 using 1:2 with linespoints title "icet", \
+     'fig10e_reduction_compositing.csv' every ::1 using 1:3 with linespoints title "mpi", \
+     'fig10e_reduction_compositing.csv' every ::1 using 1:4 with linespoints title "charm", \
+     'fig10e_reduction_compositing.csv' every ::1 using 1:5 with linespoints title "legion"

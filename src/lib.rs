@@ -1,0 +1,19 @@
+//! BabelFlow-RS umbrella crate: re-exports every sub-crate.
+//!
+//! See `babelflow_core` for the EDSL, `babelflow_graphs` for prototypical
+//! dataflows, the `mpi`/`charm`/`legion` crates for runtime backends,
+//! `babelflow_sim` for the at-scale discrete-event simulator, and the
+//! `topology`/`render`/`register` crates for the paper's three use cases.
+
+pub use babelflow_charm as charm;
+pub use babelflow_core as core;
+pub use babelflow_data as data;
+pub use babelflow_graphs as graphs;
+pub use babelflow_legion as legion;
+pub use babelflow_mpi as mpi;
+pub use babelflow_register as register;
+pub use babelflow_render as render;
+pub use babelflow_sim as sim;
+pub use babelflow_topology as topology;
+
+pub use babelflow_core::*;

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Hermetic CI: the workspace has zero external dependencies, so both steps
+# must succeed offline against an empty registry (see DESIGN.md §7).
+set -eux
+
+cargo build --release --offline
+cargo test -q --offline

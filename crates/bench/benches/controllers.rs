@@ -1,4 +1,4 @@
-//! Criterion benchmarks of the runtime controllers themselves: the
+//! Benchmarks of the runtime controllers themselves: the
 //! per-graph overhead of executing the same small reduction on each
 //! backend — "the framework guarantees the same tasks are executed,
 //! independent of the runtime; it provides an ideal test bed to compare
@@ -6,7 +6,8 @@
 
 use std::collections::HashMap;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use babelflow_bench::harness::Criterion;
+use babelflow_bench::{criterion_group, criterion_main};
 
 use babelflow_core::{
     run_serial, Blob, CallbackId, Controller, ModuloMap, Payload, Registry, TaskGraph, TaskId,

@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks of the computational kernels every use case
+//! Micro-benchmarks of the computational kernels every use case
 //! is built from. These are the numbers the simulator's cost models are
 //! calibrated against (see `babelflow_sim::models`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use babelflow_bench::harness::{BatchSize, Criterion};
+use babelflow_bench::{criterion_group, criterion_main};
 
 use babelflow_core::PayloadData;
 use babelflow_data::{hcci_proxy, HcciParams, Idx3};

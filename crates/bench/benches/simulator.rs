@@ -1,9 +1,10 @@
-//! Criterion benchmarks of the discrete-event simulator's throughput:
+//! Benchmarks of the discrete-event simulator's throughput:
 //! events per second on figure-scale graphs. The fig06 sweep simulates
 //! ~240k-task graphs, so the engine must stay well into the millions of
 //! events per second.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use babelflow_bench::harness::{BenchmarkId, Criterion, Throughput};
+use babelflow_bench::{criterion_group, criterion_main};
 
 use babelflow_core::{ModuloMap, TaskGraph, TaskMap};
 use babelflow_graphs::KWayMerge;
@@ -18,7 +19,7 @@ fn bench_des(c: &mut Criterion) {
         let map = ModuloMap::new(cores, g.size() as u64);
         let cost = MergeTreeCost::new(g.clone(), 32 * 32 * 32);
         let machine = MachineConfig::shaheen(cores);
-        group.throughput(criterion::Throughput::Elements(g.size() as u64));
+        group.throughput(Throughput::Elements(g.size() as u64));
         group.bench_with_input(BenchmarkId::new("mpi_async", leaves), &leaves, |b, _| {
             b.iter(|| {
                 simulate(&g, &|id| map.shard(id).0, &cost, &machine, &RuntimeCosts::mpi_async())

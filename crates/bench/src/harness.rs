@@ -1,0 +1,326 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! Part of the zero-dependency substrate: replaces the `criterion` crate
+//! for the workspace's three bench targets, keeping their source shape
+//! ([`Criterion`], [`Bencher::iter`], benchmark groups, throughput
+//! annotations, the `criterion_group!`/`criterion_main!` macros) so the
+//! bench files read the same as their criterion originals.
+//!
+//! What it keeps: automatic iteration-count calibration, warm-up, multiple
+//! timed samples with a median/min report, and per-element or per-byte
+//! throughput lines. What it drops: statistical outlier analysis, HTML
+//! reports, and baseline comparison — for regression tracking the CSV
+//! figure pipeline in this crate is the tool of record.
+
+use std::fmt::Display;
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// How long a warm-up/calibration burst should run before the timing per
+/// iteration is trusted.
+const WARMUP_TARGET: Duration = Duration::from_millis(25);
+/// Wall-clock aimed at per timed sample (the calibrated iteration count
+/// approximates this).
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// Top-level benchmark driver; collects settings and runs benchmarks as
+/// they are registered.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark (consuming, for
+    /// `Criterion::default().sample_size(n)` configuration chains).
+    pub fn sample_size(mut self, n: u32) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine to time.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks sharing settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.to_string(), sample_size, throughput: None }
+    }
+}
+
+/// Work-rate annotation: reported as elements or bytes per second next to
+/// the time per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup; all variants run setup
+/// once per iteration here, the distinction only matters for criterion's
+/// allocation batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter value, printed
+/// as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` at `parameter` (e.g. a problem size).
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample size, and
+/// throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark; `f` also receives `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.full);
+        run_bench(&full, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for criterion source compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the routine a calibrated number
+/// of times and records the elapsed wall-clock.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, run back-to-back for this sample's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            bb(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` only, re-running `setup` (untimed) before each
+    /// iteration.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            bb(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Format a per-iteration duration with an adaptive unit.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Format a rate with an adaptive SI prefix.
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// Warm up, calibrate the per-sample iteration count, take the samples,
+/// and print one report line.
+fn run_bench(
+    name: &str,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up doubling as calibration: grow the burst until it runs long
+    // enough to give a trustworthy time per iteration.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= WARMUP_TARGET || iters >= 1 << 22 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    };
+
+    let iters = ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  [{}]", fmt_rate(n as f64 / median, "elem"))
+        }
+        Some(Throughput::Bytes(n)) => format!("  [{}]", fmt_rate(n as f64 / median, "B")),
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<52} median {:>12}  min {:>12}  ({sample_size} samples x {iters} iters){rate}",
+        fmt_time(median),
+        fmt_time(min),
+    );
+}
+
+/// Define a benchmark group function that runs each target against a
+/// [`Criterion`] driver. Supports both the positional form
+/// (`criterion_group!(name, target_a, target_b)`) and the configured form
+/// (`criterion_group!(name = n; config = expr; targets = a, b)`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::harness::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target: runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_settings_and_inputs_flow_through() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("param", 42), &7u64, |b, &x| {
+            b.iter(|| {
+                seen = x;
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn formats_are_sane() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2e-3), "2.000 ms");
+        assert_eq!(fmt_time(2e-6), "2.000 µs");
+        assert_eq!(fmt_time(2e-9), "2.0 ns");
+        assert_eq!(fmt_rate(2e9, "elem"), "2.00 Gelem/s");
+        assert_eq!(fmt_rate(5.0, "B"), "5.0 B/s");
+    }
+}

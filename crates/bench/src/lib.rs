@@ -10,6 +10,7 @@
 pub mod ablations;
 pub mod calibrate;
 pub mod figures;
+pub mod harness;
 pub mod plots;
 
 use std::io::Write as _;

@@ -66,7 +66,7 @@ struct TaskChare {
     error: ErrorSink,
 }
 
-type ErrorSink = std::sync::Arc<parking_lot::Mutex<Option<ControllerError>>>;
+type ErrorSink = std::sync::Arc<babelflow_core::sync::Mutex<Option<ControllerError>>>;
 
 impl Chare for TaskChare {
     fn on_message(&mut self, src: TaskId, payload: Payload, ctx: &mut ChareCtx<'_>) -> bool {

@@ -22,8 +22,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use babelflow_core::{Payload, TaskId};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use babelflow_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use babelflow_core::sync::Mutex;
 
 /// A message-driven parallel object hosted by the runtime.
 pub trait Chare: Send {
@@ -231,7 +231,7 @@ impl CharmRuntime {
         }
 
         let factory = &factory;
-        let result: Result<(), Vec<u64>> = crossbeam::scope(|s| {
+        let result: Result<(), Vec<u64>> = std::thread::scope(|s| {
             // PE scheduler threads.
             for (pe, rx) in receivers.into_iter().enumerate() {
                 let shared = shared.clone();
@@ -242,7 +242,7 @@ impl CharmRuntime {
                     .filter(|(_, &p)| p == pe)
                     .map(|(&i, _)| i)
                     .collect();
-                s.spawn(move |_| pe_main(pe, rx, shared, my, factory));
+                s.spawn(move || pe_main(pe, rx, shared, my, factory));
             }
 
             // Optional periodic load balancer.
@@ -250,7 +250,7 @@ impl CharmRuntime {
                 let shared = shared.clone();
                 let pes = self.pes;
                 let total = total;
-                Some(s.spawn(move |_| lb_main(shared, pes, total, period)))
+                Some(s.spawn(move || lb_main(shared, pes, total, period)))
             } else {
                 None
             };
@@ -296,8 +296,7 @@ impl CharmRuntime {
                 };
                 Err(pending)
             }
-        })
-        .expect("charm scope panicked");
+        });
 
         result?;
 

@@ -1,0 +1,414 @@
+//! An in-repo unbounded channel with two-source `select`.
+//!
+//! Part of the zero-dependency substrate: replaces the `crossbeam`
+//! channels the runtimes were built on. Both endpoints are cloneable, so
+//! one channel can feed a pool of worker threads (multi-consumer) and
+//! collect from many producers (multi-producer). Delivery is FIFO per
+//! channel; a receive on an empty channel whose senders are all gone
+//! reports disconnection instead of blocking forever.
+//!
+//! [`select2`] is the piece `std::sync::mpsc` cannot provide: block until
+//! *either* of two channels has a message (or a timeout passes). The MPI
+//! controller drives its event loop with it — worker completions on one
+//! channel, network messages on the other, and a stall timeout as the
+//! third arm. Selection works by registering a shared [`SelectWaker`] on
+//! both channels; every send rings the waker, and the selector re-polls.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::sync::{Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every receiver is gone; gives
+/// the message back.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Manual impl so `send(...).expect(...)` works for non-Debug messages.
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Wakeup target a selector registers on the channels it polls. Senders
+/// ring it after enqueueing; the selector sleeps on it between polls.
+#[derive(Debug, Default)]
+pub struct SelectWaker {
+    signaled: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SelectWaker {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a wakeup and rouse the selector.
+    fn ring(&self) {
+        *self.signaled.lock() = true;
+        self.cv.notify_all();
+    }
+
+    /// Clear the signal before a poll round, so only sends that happen
+    /// *after* the poll can ring it — that ordering is what makes the
+    /// poll-then-sleep loop lose no wakeups.
+    fn reset(&self) {
+        *self.signaled.lock() = false;
+    }
+
+    /// Sleep until rung or `deadline`; returns `true` if rung.
+    fn wait_until(&self, deadline: Instant) -> bool {
+        let mut signaled = self.signaled.lock();
+        while !*signaled {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cv.wait_timeout(&mut signaled, deadline - now);
+        }
+        true
+    }
+}
+
+/// Channel state behind the shared mutex.
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    waker: Option<Arc<SelectWaker>>,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// The sending half of a channel; cloneable for multiple producers.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a channel; cloneable for a consumer pool.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Create an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1, waker: None }),
+        cv: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`; never blocks. Fails only when every receiver has
+    /// been dropped, returning the value.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let waker = {
+            let mut st = self.chan.state.lock();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            st.waker.clone()
+        };
+        self.chan.cv.notify_one();
+        if let Some(w) = waker {
+            w.ring();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().senders += 1;
+        Sender { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut st = self.chan.state.lock();
+            st.senders -= 1;
+            (st.senders == 0).then(|| st.waker.clone()).flatten()
+        };
+        // The last sender leaving may turn blocked receives into
+        // disconnections: wake everyone so they can observe it.
+        self.chan.cv.notify_all();
+        if let Some(w) = waker {
+            w.ring();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives; `Err` when empty and disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            self.chan.cv.wait(&mut st);
+        }
+    }
+
+    /// Block until a message arrives or `timeout` passes.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.state.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            self.chan.cv.wait_timeout(&mut st, deadline - now);
+        }
+    }
+
+    /// Dequeue a message if one is ready right now.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.state.lock();
+        match st.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Messages currently queued (diagnostics only; immediately stale).
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().queue.len()
+    }
+
+    /// Whether the queue is empty right now (diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn set_waker(&self, waker: Arc<SelectWaker>) {
+        self.chan.state.lock().waker = Some(waker);
+    }
+
+    fn clear_waker(&self) {
+        self.chan.state.lock().waker = None;
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().receivers += 1;
+        Receiver { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.state.lock().receivers -= 1;
+    }
+}
+
+/// Outcome of a [`select2`] round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Select2<A, B> {
+    /// The first channel produced a message.
+    A(A),
+    /// The second channel produced a message.
+    B(B),
+    /// The first channel is empty and all its senders are gone.
+    DisconnectedA,
+    /// The second channel is empty and all its senders are gone.
+    DisconnectedB,
+    /// Neither channel produced a message within the timeout.
+    Timeout,
+}
+
+/// Block until either channel has a message, one disconnects, or
+/// `timeout` passes. When both have messages queued, the first channel
+/// wins (it is polled first) — select is biased, and callers order the
+/// arms by priority.
+pub fn select2<A, B>(a: &Receiver<A>, b: &Receiver<B>, timeout: Duration) -> Select2<A, B> {
+    let deadline = Instant::now() + timeout;
+    let waker = Arc::new(SelectWaker::new());
+    a.set_waker(waker.clone());
+    b.set_waker(waker.clone());
+
+    let outcome = loop {
+        // Reset before polling: a send that lands after this line rings
+        // the waker and aborts the sleep below; a send before it is
+        // already visible to the polls. Either way nothing is lost.
+        waker.reset();
+        match a.try_recv() {
+            Ok(v) => break Select2::A(v),
+            Err(TryRecvError::Disconnected) => break Select2::DisconnectedA,
+            Err(TryRecvError::Empty) => {}
+        }
+        match b.try_recv() {
+            Ok(v) => break Select2::B(v),
+            Err(TryRecvError::Disconnected) => break Select2::DisconnectedB,
+            Err(TryRecvError::Empty) => {}
+        }
+        if !waker.wait_until(deadline) {
+            break Select2::Timeout;
+        }
+    };
+
+    a.clear_waker();
+    b.clear_waker();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_channel() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_after_all_senders_drop_reports_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_after_all_receivers_drop_fails() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx2.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn worker_pool_drains_everything_exactly_once() {
+        let n = 1000u64;
+        let (tx, rx) = unbounded();
+        let total: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            for i in 1..=n {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn select_prefers_first_ready_channel() {
+        let (ta, ra) = unbounded();
+        let (tb, rb) = unbounded();
+        tb.send("b").unwrap();
+        assert_eq!(select2(&ra, &rb, Duration::from_secs(1)), Select2::B("b"));
+        ta.send("a").unwrap();
+        tb.send("b").unwrap();
+        // Both ready: biased toward the first arm.
+        assert_eq!(select2(&ra, &rb, Duration::from_secs(1)), Select2::A("a"));
+        assert_eq!(select2(&ra, &rb, Duration::from_secs(1)), Select2::B("b"));
+    }
+
+    #[test]
+    fn select_times_out_and_reports_disconnects() {
+        let (ta, ra) = unbounded::<u8>();
+        let (tb, rb) = unbounded::<u8>();
+        assert_eq!(select2(&ra, &rb, Duration::from_millis(10)), Select2::Timeout);
+        drop(ta);
+        assert_eq!(select2(&ra, &rb, Duration::from_millis(10)), Select2::DisconnectedA);
+        drop(tb);
+        let (_ta2, ra2) = unbounded::<u8>();
+        assert_eq!(select2(&ra2, &rb, Duration::from_millis(10)), Select2::DisconnectedB);
+    }
+
+    #[test]
+    fn select_wakes_on_cross_thread_send() {
+        let (ta, ra) = unbounded::<u8>();
+        let (_tb, rb) = unbounded::<u8>();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            ta.send(42).unwrap();
+        });
+        let start = Instant::now();
+        assert_eq!(select2(&ra, &rb, Duration::from_secs(10)), Select2::A(42));
+        assert!(start.elapsed() < Duration::from_secs(5), "select should wake promptly");
+        sender.join().unwrap();
+    }
+}

@@ -7,7 +7,7 @@
 //! minimal — no self-description, no versioning — because task payloads are
 //! always decoded by code compiled from the same crate graph.
 
-use bytes::{Bytes, BytesMut};
+use crate::buffer::{Bytes, BytesMut};
 
 /// Streaming little-endian encoder writing into a growable buffer.
 ///

@@ -52,6 +52,8 @@
 
 #![warn(missing_docs)]
 
+pub mod buffer;
+pub mod channel;
 pub mod codec;
 pub mod compose;
 pub mod controller;
@@ -60,12 +62,16 @@ pub mod exec;
 pub mod graph;
 pub mod ids;
 pub mod payload;
+pub mod proptest_lite;
 pub mod registry;
+pub mod rng;
 pub mod serial;
 pub mod stats;
+pub mod sync;
 pub mod task;
 pub mod taskmap;
 
+pub use buffer::{Bytes, BytesMut};
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use compose::{ChainGraph, Link, OffsetGraph};
 pub use controller::{

@@ -14,7 +14,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use crate::buffer::Bytes;
 
 use crate::codec::DecodeError;
 

@@ -175,7 +175,7 @@ pub fn run_serial(
 /// serialized, in deterministic `(task, slot)` order. Two runs are
 /// equivalent iff their canonical outputs match — this is the oracle for
 /// the cross-runtime tests.
-pub fn canonical_outputs(report: &RunReport) -> BTreeMap<TaskId, Vec<bytes::Bytes>> {
+pub fn canonical_outputs(report: &RunReport) -> BTreeMap<TaskId, Vec<crate::buffer::Bytes>> {
     report
         .outputs
         .iter()

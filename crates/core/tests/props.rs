@@ -7,7 +7,8 @@ use babelflow_core::{
     canonical_outputs, run_serial, Blob, BlockMap, CallbackId, Decoder, Encoder, ExplicitGraph,
     ModuloMap, Payload, Registry, Task, TaskGraph, TaskId,
 };
-use proptest::prelude::*;
+use babelflow_core::proptest_lite as proptest;
+use babelflow_core::proptest_lite::prelude::*;
 
 proptest! {
     #[test]

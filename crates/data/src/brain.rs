@@ -13,7 +13,7 @@
 //! the registration dataflow recovers them — a ground-truth check the
 //! paper itself could not perform.
 
-use rand::prelude::*;
+use babelflow_core::rng::Rng;
 
 use crate::grid::{Grid3, Idx3};
 
@@ -70,7 +70,7 @@ pub fn brain_acquisition(params: &BrainParams) -> BrainAcquisition {
     let t = params.tile;
     let overlap_vox = ((t as f32) * params.overlap).round() as usize;
     let stride = t - overlap_vox;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
 
     // Specimen: a structured field with vessel-like sinusoidal bands and
     // blob densities — enough texture that overlap correlation has a
@@ -88,7 +88,7 @@ pub fn brain_acquisition(params: &BrainParams) -> BrainAcquisition {
                 rng.random_range(0.0..spec_dims.x as f32),
                 rng.random_range(0.0..spec_dims.y as f32),
                 rng.random_range(0.0..spec_dims.z as f32),
-                rng.random_range(2.0..5.0),
+                rng.random_range(2.0f32..5.0),
             )
         })
         .collect();

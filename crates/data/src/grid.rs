@@ -1,7 +1,7 @@
 //! Dense 3D scalar grids.
 
 use babelflow_core::{codec::DecodeError, Decoder, Encoder, PayloadData};
-use bytes::Bytes;
+use babelflow_core::Bytes;
 
 /// Integer 3D coordinates / extents.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -18,7 +18,7 @@
 //! * complex geometry interspersed with near-empty regions → the
 //!   rendering workload keeps its stated character.
 
-use rand::prelude::*;
+use babelflow_core::rng::Rng;
 
 use crate::grid::Grid3;
 
@@ -56,7 +56,7 @@ impl Default for HcciParams {
 /// peaking near 1.
 pub fn hcci_proxy(params: &HcciParams) -> Grid3 {
     let n = params.size;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
 
     // Kernel centers, uniformly distributed (periodic domain).
     let centers: Vec<(f32, f32, f32)> = (0..params.kernels)
@@ -69,7 +69,7 @@ pub fn hcci_proxy(params: &HcciParams) -> Grid3 {
         })
         .collect();
     // Per-kernel amplitude jitter: ignition regions differ in intensity.
-    let amps: Vec<f32> = (0..params.kernels).map(|_| rng.random_range(0.6..1.0)).collect();
+    let amps: Vec<f32> = (0..params.kernels).map(|_| rng.random_range(0.6f32..1.0)).collect();
 
     // Band-limited noise: random lattice + trilinear interpolation,
     // periodic boundary.

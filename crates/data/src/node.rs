@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use babelflow_core::{codec::DecodeError, Decoder, Encoder, PayloadData};
-use bytes::Bytes;
+use babelflow_core::Bytes;
 
 use crate::grid::{Grid3, Idx3};
 

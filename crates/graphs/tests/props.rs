@@ -4,7 +4,8 @@
 
 use babelflow_core::{validate, TaskGraph};
 use babelflow_graphs::{BinarySwap, Broadcast, KWayMerge, NeighborGraph, Reduction};
-use proptest::prelude::*;
+use babelflow_core::proptest_lite as proptest;
+use babelflow_core::proptest_lite::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use babelflow_core::Payload;
-use parking_lot::{Condvar, Mutex};
+use babelflow_core::sync::{Condvar, Mutex};
 
 /// A logical region: metadata naming a piece of data. The tuple mirrors how
 /// the BabelFlow controllers name dataflow edges: (producer task, consumer
@@ -378,26 +378,25 @@ impl LegionRuntime {
     /// why the SPMD controller scales better.
     pub fn must_epoch_launch(&self, tasks: Vec<TaskLauncher>) {
         self.inner.stats_launches.fetch_add(1, Ordering::Relaxed);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in tasks {
                 self.inner.stats_tasks.fetch_add(1, Ordering::Relaxed);
                 let inner = self.inner.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let ctx = TaskCtx { inner: &inner };
                     (t.body)(&ctx);
                 });
             }
-        })
-        .expect("must-epoch scope panicked");
+        });
     }
 
     /// Run worker threads until all outstanding tasks complete or `timeout`
     /// passes with no progress. Returns `false` on stall.
     pub fn wait_all(&self, timeout: Duration) -> bool {
         let inner = &self.inner;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..self.workers {
-                s.spawn(move |_| worker_main(inner));
+                s.spawn(move || worker_main(inner));
             }
             // Progress monitor.
             let done = {
@@ -425,7 +424,6 @@ impl LegionRuntime {
             inner.cv.notify_all();
             done
         })
-        .expect("worker scope panicked")
     }
 
     /// Names of tasks still waiting on preconditions (diagnostics after a

@@ -25,7 +25,7 @@ use babelflow_core::{
     preflight, Callback, Controller, ControllerError, InitialInputs, Payload, Registry, Result,
     RunReport, ShardId, Task, TaskGraph, TaskId, TaskMap,
 };
-use parking_lot::Mutex;
+use babelflow_core::sync::Mutex;
 
 use crate::edges::{input_regions, output_regions};
 use crate::runtime::{LegionRuntime, RegionKey, RegionRequirement, TaskLauncher};

@@ -91,7 +91,7 @@ fn diamond_of_region_dependences_executes_once_each() {
     // d reads r3, r4. Launched in reverse order.
     let rt = LegionRuntime::new(2);
     let (r1, r2, r3, r4) = (region(0, 1), region(0, 2), region(1, 3), region(2, 3));
-    let order = Arc::new(parking_lot::Mutex::new(Vec::<&'static str>::new()));
+    let order = Arc::new(babelflow_core::sync::Mutex::new(Vec::<&'static str>::new()));
 
     let o = order.clone();
     rt.launch(

@@ -122,19 +122,18 @@ impl Controller for BlockingMpiController {
         let schedule = &schedule;
 
         let outcomes: Vec<Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)>> =
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = endpoints
                     .into_iter()
                     .zip(rank_inputs)
                     .map(|(ep, inputs)| {
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             blocking_rank_main(ep, graph, map, registry, inputs, schedule, timeout)
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-            })
-            .expect("controller scope panicked");
+            });
 
         let mut report = RunReport::default();
         for outcome in outcomes {

@@ -15,8 +15,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use babelflow_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use babelflow_core::sync::Mutex;
 
 /// A message in flight: source rank, tag, and opaque bytes.
 #[derive(Debug, Clone)]
@@ -27,7 +27,7 @@ pub struct Envelope {
     /// here-in payload; the tag distinguishes message classes).
     pub tag: u32,
     /// Serialized message body.
-    pub body: bytes::Bytes,
+    pub body: babelflow_core::Bytes,
 }
 
 /// Deterministic fault injection for tests: which (src, dst, seq) sends to
@@ -147,7 +147,7 @@ impl RankComm {
     ///
     /// # Panics
     /// If `dst` is out of range.
-    pub fn isend(&self, dst: usize, tag: u32, body: bytes::Bytes) {
+    pub fn isend(&self, dst: usize, tag: u32, body: babelflow_core::Bytes) {
         assert!(dst < self.n, "rank {dst} out of range");
         let pair = self.rank * self.n + dst;
         let seq = {
@@ -188,7 +188,7 @@ impl RankComm {
         self.rx.try_recv().ok()
     }
 
-    /// The raw inbox receiver, for use in `crossbeam::select!` loops.
+    /// The raw inbox receiver, for use in [`babelflow_core::channel::select2`] loops.
     pub fn inbox(&self) -> &Receiver<Envelope> {
         &self.rx
     }
@@ -197,7 +197,7 @@ impl RankComm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use babelflow_core::Bytes;
 
     #[test]
     fn point_to_point_ordering() {
@@ -218,9 +218,9 @@ mod tests {
     fn cross_thread_exchange() {
         let mut w = World::new(2);
         let eps = w.endpoints();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for ep in eps {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let peer = 1 - ep.rank();
                     ep.isend(peer, 7, Bytes::from(vec![ep.rank() as u8]));
                     let e = ep.recv().unwrap();
@@ -229,8 +229,7 @@ mod tests {
                     assert_eq!(e.body.as_ref(), &[peer as u8]);
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(w.delivered(), 2);
     }
 

@@ -25,7 +25,7 @@ use babelflow_core::{
     preflight, Controller, ControllerError, InitialInputs, InputBuffer, Payload, Registry, Result,
     RunReport, RunStats, ShardId, Task, TaskGraph, TaskId, TaskMap,
 };
-use crossbeam::channel::unbounded;
+use babelflow_core::channel::{select2, unbounded, Select2, Sender};
 
 use crate::comm::{FaultPlan, RankComm, World};
 use crate::wire::{DataflowMsg, TAG_DATAFLOW};
@@ -103,19 +103,18 @@ impl Controller for MpiController {
         let timeout = self.timeout;
         let workers = self.workers_per_rank;
 
-        let outcomes: Vec<RankOutcome> = crossbeam::scope(|s| {
+        let outcomes: Vec<RankOutcome> = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .zip(rank_inputs)
                 .map(|(ep, inputs)| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         rank_main(ep, graph, map, registry, inputs, workers, timeout)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-        })
-        .expect("controller scope panicked");
+        });
 
         let mut report = RunReport::default();
         for outcome in outcomes {
@@ -148,7 +147,7 @@ struct DoneItem {
 fn dispatch_ready(
     buffers: &mut HashMap<TaskId, InputBuffer>,
     ready: Vec<TaskId>,
-    work_tx: &crossbeam::channel::Sender<WorkItem>,
+    work_tx: &Sender<WorkItem>,
 ) {
     for id in ready {
         if let Some(buf) = buffers.remove(&id) {
@@ -187,13 +186,13 @@ pub(crate) fn rank_main(
     let (work_tx, work_rx) = unbounded::<WorkItem>();
     let (done_tx, done_rx) = unbounded::<DoneItem>();
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         // Worker pool: executes ready tasks in the order their inputs
         // completed.
         for _ in 0..workers {
             let work_rx = work_rx.clone();
             let done_tx = done_tx.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 while let Ok(WorkItem { task, inputs }) = work_rx.recv() {
                     let cb = registry.get(task.callback).expect("preflight checked bindings");
                     let outputs = cb(inputs, task.id);
@@ -225,10 +224,10 @@ pub(crate) fn rank_main(
         dispatch_ready(&mut buffers, initially_ready, &work_tx);
 
         while executed < local_total {
-            crossbeam::channel::select! {
-                recv(done_rx) -> msg => {
-                    let DoneItem { task, outputs: result } = msg
-                        .map_err(|_| ControllerError::Runtime("worker pool died".into()))?;
+            // Biased two-way select: worker completions first, then network
+            // messages, then the stall timeout.
+            match select2(&done_rx, ep.inbox(), timeout) {
+                Select2::A(DoneItem { task, outputs: result }) => {
                     let outs = result?;
                     executed += 1;
                     stats.tasks_executed += 1;
@@ -265,8 +264,7 @@ pub(crate) fn rank_main(
                     }
                     dispatch_ready(&mut buffers, newly_ready, &work_tx);
                 }
-                recv(ep.inbox()) -> env => {
-                    let env = env.map_err(|_| ControllerError::Runtime("world torn down".into()))?;
+                Select2::B(env) => {
                     let msg = DataflowMsg::decode(&env.body).ok_or_else(|| {
                         ControllerError::Runtime(format!("malformed message from rank {}", env.src))
                     })?;
@@ -284,7 +282,13 @@ pub(crate) fn rank_main(
                         dispatch_ready(&mut buffers, vec![msg.dst_task], &work_tx);
                     }
                 }
-                default(timeout) => {
+                Select2::DisconnectedA => {
+                    return Err(ControllerError::Runtime("worker pool died".into()));
+                }
+                Select2::DisconnectedB => {
+                    return Err(ControllerError::Runtime("world torn down".into()));
+                }
+                Select2::Timeout => {
                     let mut pending: Vec<TaskId> = buffers.keys().copied().collect();
                     pending.sort();
                     return Err(ControllerError::Deadlock { pending });
@@ -295,5 +299,4 @@ pub(crate) fn rank_main(
         drop(work_tx);
         Ok((outputs, stats))
     })
-    .expect("rank scope panicked")
 }

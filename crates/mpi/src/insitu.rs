@@ -188,12 +188,12 @@ mod tests {
         // In-situ: each "simulation rank" supplies only its local blocks.
         let world = InSituWorld::new(graph.clone(), map.clone(), sum_registry());
         let ranks = world.into_ranks();
-        let outcome: Vec<_> = crossbeam::scope(|s| {
+        let outcome: Vec<_> = std::thread::scope(|s| {
             let handles: Vec<_> = ranks
                 .into_iter()
                 .map(|rank| {
                     let all = all_inputs.clone();
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let local: InitialInputs = rank
                             .local_input_tasks()
                             .into_iter()
@@ -204,8 +204,7 @@ mod tests {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
 
         let mut report = RunReport::default();
         for (outputs, stats) in outcome {

@@ -1,7 +1,7 @@
 //! Wire format of dataflow messages between ranks.
 
 use babelflow_core::{Decoder, Encoder, Payload, TaskId};
-use bytes::Bytes;
+use babelflow_core::Bytes;
 
 /// Tag used for dataflow payload messages.
 pub const TAG_DATAFLOW: u32 = 0;

@@ -10,7 +10,8 @@ use babelflow_core::{
 };
 use babelflow_graphs::Reduction;
 use babelflow_mpi::{BlockingMpiController, MpiController};
-use proptest::prelude::*;
+use babelflow_core::proptest_lite as proptest;
+use babelflow_core::proptest_lite::prelude::*;
 
 fn val(p: &Payload) -> u64 {
     u64::from_le_bytes(p.extract::<Blob>().unwrap().0.as_slice().try_into().unwrap())
@@ -53,6 +54,33 @@ proptest! {
         let serial = run_serial(&g, &reg, inputs.clone()).unwrap();
         let map = ModuloMap::new(ranks, g.size() as u64);
         let r = MpiController::new().run(&g, &map, &reg, inputs).unwrap();
+        prop_assert_eq!(canonical_outputs(&r), canonical_outputs(&serial));
+        prop_assert_eq!(r.stats.tasks_executed as usize, g.size());
+    }
+
+    /// The event loop's two-way select must lose no wakeups regardless of
+    /// how many workers feed the completion channel: any worker-pool width
+    /// must drain the whole graph and match the serial oracle.
+    #[test]
+    fn async_is_correct_for_any_worker_pool_width(
+        workers in 1usize..6,
+        ranks in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        let g = Reduction::new(27, 3);
+        let reg = sum_registry();
+        let inputs: HashMap<TaskId, Vec<Payload>> = g
+            .leaf_ids()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, vec![pay(seed.rotate_left(i as u32))]))
+            .collect();
+        let serial = run_serial(&g, &reg, inputs.clone()).unwrap();
+        let map = ModuloMap::new(ranks, g.size() as u64);
+        let r = MpiController::new()
+            .with_workers(workers)
+            .run(&g, &map, &reg, inputs)
+            .unwrap();
         prop_assert_eq!(canonical_outputs(&r), canonical_outputs(&serial));
         prop_assert_eq!(r.stats.tasks_executed as usize, g.size());
     }

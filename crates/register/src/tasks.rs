@@ -19,7 +19,7 @@ use babelflow_graphs::{
     neighbor::{CORR_CB, EVAL_CB, READ_CB, SOLVE_CB},
     NeighborGraph, NeighborRole,
 };
-use bytes::Bytes;
+use babelflow_core::Bytes;
 
 use crate::correlate::{search_offset, Estimate, Offset};
 

@@ -5,7 +5,8 @@
 use babelflow_data::Grid3;
 use babelflow_graphs::NeighborGraph;
 use babelflow_register::{search_offset, solve_positions, EdgeEstimate};
-use proptest::prelude::*;
+use babelflow_core::proptest_lite as proptest;
+use babelflow_core::proptest_lite::prelude::*;
 
 fn texture(dims: (usize, usize, usize), shift: (i64, i64, i64), seed: u64) -> Grid3 {
     Grid3::from_fn(dims, |x, y, z| {

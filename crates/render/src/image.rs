@@ -8,7 +8,7 @@
 //! a single representative depth per fragment orders them correctly.
 
 use babelflow_core::{codec::DecodeError, Decoder, Encoder, PayloadData};
-use bytes::Bytes;
+use babelflow_core::Bytes;
 
 /// A rectangle of the final image: premultiplied RGBA + depth.
 #[derive(Clone, Debug, PartialEq)]

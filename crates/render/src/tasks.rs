@@ -14,7 +14,7 @@ use babelflow_core::{
 };
 use babelflow_data::{BlockDecomp, Grid3, Idx3};
 use babelflow_graphs::{binary_swap, reduction, BinarySwap, Reduction};
-use bytes::Bytes;
+use babelflow_core::Bytes;
 
 use crate::image::{binary_swap_region, ImageFragment};
 use crate::raycast::{render_block, RenderParams};

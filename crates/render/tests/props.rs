@@ -3,7 +3,8 @@
 //! sequential oracle for arbitrary fragment stacks.
 
 use babelflow_render::{binary_swap_region, icet_binary_swap, icet_reduce, ImageFragment};
-use proptest::prelude::*;
+use babelflow_core::proptest_lite as proptest;
+use babelflow_core::proptest_lite::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

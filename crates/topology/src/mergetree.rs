@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use babelflow_core::{codec::DecodeError, Decoder, Encoder, PayloadData};
-use bytes::Bytes;
+use babelflow_core::Bytes;
 
 use crate::unionfind::UnionFind;
 

@@ -26,7 +26,7 @@ use babelflow_graphs::{
     kway_merge::{CORRECTION_CB, JOIN_CB, LOCAL_CB, RELAY_CB, SEG_CB},
     KWayMerge, MergeRole,
 };
-use bytes::Bytes;
+use babelflow_core::Bytes;
 
 use crate::mergetree::MergeTree;
 use crate::segmentation::{segment_tree, Segmentation};

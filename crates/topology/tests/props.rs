@@ -7,7 +7,8 @@ use babelflow_data::{Grid3, Idx3};
 use babelflow_topology::{
     canonical_partition, merge_segmentations, MergeTree, MergeTreeConfig,
 };
-use proptest::prelude::*;
+use babelflow_core::proptest_lite as proptest;
+use babelflow_core::proptest_lite::prelude::*;
 
 /// Random 1D field as a path graph.
 fn path_tree(values: &[f32]) -> MergeTree {

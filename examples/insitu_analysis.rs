@@ -49,7 +49,7 @@ fn main() {
         );
         let rank_handles = world.into_ranks();
 
-        let per_rank: Vec<_> = crossbeam::scope(|s| {
+        let per_rank: Vec<_> = std::thread::scope(|s| {
             let handles: Vec<_> = rank_handles
                 .into_iter()
                 .map(|rank| {
@@ -60,7 +60,7 @@ fn main() {
                         .into_iter()
                         .map(|t| (t, all_inputs[&t].clone()))
                         .collect();
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let blocks = mine.len();
                         let (outputs, stats) = rank.run(mine).expect("in-situ analysis");
                         (blocks, outputs, stats)
@@ -68,8 +68,7 @@ fn main() {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
 
         // Gather this step's segmentations for reporting (the host app
         // would normally keep them distributed).

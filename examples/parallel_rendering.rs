@@ -78,7 +78,8 @@ fn main() {
     assert!(max_pixel_diff(&reduced, &swapped) < 1e-4);
     assert!(max_pixel_diff(&reduced, &icet) < 1e-5);
 
-    let path = "rendered_volume.ppm";
-    std::fs::write(path, reduced.to_ppm([0.02, 0.02, 0.05])).expect("write image");
-    println!("wrote {path}");
+    let path = std::path::Path::new("results").join("rendered_volume.ppm");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(&path, reduced.to_ppm([0.02, 0.02, 0.05])).expect("write image");
+    println!("wrote {}", path.display());
 }

@@ -18,7 +18,7 @@ use babelflow::core::{
 };
 use babelflow::graphs::{reduction, Reduction};
 use babelflow::mpi::MpiController;
-use bytes::Bytes;
+use babelflow_core::Bytes;
 
 /// Min/max/sum statistics — the object exchanged between tasks. Step 2 of
 /// the paper's workflow: provide its serialization.

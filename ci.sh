@@ -5,3 +5,9 @@ set -eux
 
 cargo build --release --offline
 cargo test -q --offline
+
+# Observability: trace analyses + a traced end-to-end run whose Chrome
+# JSON export self-validates through the in-repo parser before writing.
+cargo test -q --offline -p babelflow-trace
+cargo run --release --offline --example quickstart -- --trace /tmp/babelflow_trace.json
+test -s /tmp/babelflow_trace.json

@@ -85,5 +85,60 @@ fn bench_controllers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(controllers, bench_controllers);
+/// Tracing overhead: the same reduction untraced (implicit no-op sink),
+/// with an explicit no-op sink through `run_traced` (the <2% budget the
+/// instrumentation guards promise), and with the real recorder.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use babelflow_core::noop_sink;
+    use babelflow_trace::TraceRecorder;
+
+    let (g, reg, inputs) = setup();
+    let map = ModuloMap::new(4, g.size() as u64);
+
+    let mut group = c.benchmark_group("trace_overhead_64leaf_reduction");
+    group.sample_size(10);
+
+    group.bench_function("serial_untraced", |b| {
+        b.iter(|| run_serial(&g, &reg, inputs.clone()).unwrap());
+    });
+    group.bench_function("serial_noop_sink", |b| {
+        let smap = ModuloMap::new(1, g.size() as u64);
+        b.iter(|| {
+            babelflow_core::SerialController::new()
+                .run_traced(&g, &smap, &reg, inputs.clone(), noop_sink())
+                .unwrap()
+        });
+    });
+    group.bench_function("serial_recording", |b| {
+        let smap = ModuloMap::new(1, g.size() as u64);
+        let rec = TraceRecorder::shared();
+        b.iter(|| {
+            let r = babelflow_core::SerialController::new()
+                .run_traced(&g, &smap, &reg, inputs.clone(), rec.clone())
+                .unwrap();
+            rec.take(); // drain so memory stays flat across iterations
+            r
+        });
+    });
+    group.bench_function("mpi_async_4r_noop_sink", |b| {
+        b.iter(|| {
+            babelflow_mpi::MpiController::new()
+                .run_traced(&g, &map, &reg, inputs.clone(), noop_sink())
+                .unwrap()
+        });
+    });
+    group.bench_function("mpi_async_4r_recording", |b| {
+        let rec = TraceRecorder::shared();
+        b.iter(|| {
+            let r = babelflow_mpi::MpiController::new()
+                .run_traced(&g, &map, &reg, inputs.clone(), rec.clone())
+                .unwrap();
+            rec.take();
+            r
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(controllers, bench_controllers, bench_trace_overhead);
 criterion_main!(controllers);

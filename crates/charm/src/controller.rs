@@ -13,8 +13,10 @@
 //! chare index == task id, and starts the dataflow by delivering the
 //! initial payloads to the input chares.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink};
 use babelflow_core::{
     preflight, Callback, Controller, ControllerError, InitialInputs, InputBuffer, Payload,
     Registry, Result, RunReport, Task, TaskGraph, TaskId, TaskMap,
@@ -89,7 +91,23 @@ impl Chare for TaskChare {
         let placeholder = InputBuffer::new(Task::new(TaskId::EXTERNAL, self.buffer.task().callback));
         let buffer = std::mem::replace(&mut self.buffer, placeholder);
         let (task, inputs) = buffer.take();
+        let tracing = ctx.tracing();
+        let exec_start = if tracing { now_ns() } else { 0 };
         let outputs = (self.callback)(inputs, task.id);
+        if tracing {
+            let end = now_ns();
+            let (pe, sink) = (ctx.pe() as u32, ctx.trace_sink());
+            sink.record(
+                TraceEvent::span(SpanKind::Callback, exec_start, end, pe, 0)
+                    .with_task(task.id, task.callback),
+            );
+            // The runtime sees only messages; the exactly-once task span
+            // is the chare's to emit, on the entry method that fired.
+            sink.record(
+                TraceEvent::span(SpanKind::TaskExec, exec_start, end, pe, 0)
+                    .with_task(task.id, task.callback),
+            );
+        }
         if outputs.len() != task.fan_out() {
             let mut slot = self.error.lock();
             if slot.is_none() {
@@ -119,12 +137,13 @@ impl Chare for TaskChare {
 }
 
 impl Controller for CharmController {
-    fn run(
+    fn run_traced(
         &mut self,
         graph: &dyn TaskGraph,
         _map: &dyn TaskMap, // the Charm++ runtime places chares itself
         registry: &Registry,
         initial: InitialInputs,
+        sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
         preflight(graph, registry, &initial)?;
 
@@ -152,7 +171,10 @@ impl Controller for CharmController {
             }
         }
 
-        let rt = CharmRuntime::new(self.pes).with_lb(self.lb).with_timeout(self.timeout);
+        let rt = CharmRuntime::new(self.pes)
+            .with_lb(self.lb)
+            .with_timeout(self.timeout)
+            .with_sink(sink);
         let result = rt.run(&indices, factory, bootstrap);
 
         if let Some(err) = error.lock().take() {

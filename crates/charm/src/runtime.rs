@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use babelflow_core::trace::{noop_sink, now_ns, SpanKind, TraceEvent, TraceSink, HOST_RANK};
 use babelflow_core::{Payload, TaskId};
 use babelflow_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use babelflow_core::sync::Mutex;
@@ -45,6 +46,9 @@ enum Directive {
         idx: u64,
         src: TaskId,
         payload: Payload,
+        /// [`now_ns`] at send time (0 when tracing is off); the receiving
+        /// PE turns the gap until execution into a queue-wait span.
+        sent_ns: u64,
     },
     /// Load-balancer order: pack chare `idx` and ship it to PE `to`.
     Migrate {
@@ -94,6 +98,10 @@ struct Shared {
     late_msgs: AtomicU64,
     /// Set when the coordinator tears the run down (stall or completion).
     stopping: AtomicBool,
+    /// Trace consumer shared by every PE (the no-op sink by default).
+    sink: Arc<dyn TraceSink>,
+    /// Cached `sink.enabled()` so hot paths pay one load, not a vcall.
+    tracing: bool,
 }
 
 impl Shared {
@@ -110,7 +118,17 @@ impl Shared {
         } else {
             self.cross_msgs.fetch_add(1, Ordering::Relaxed);
         }
-        let _ = self.inboxes[pe].send(Directive::Deliver { idx, src, payload });
+        let sent_ns = if self.tracing { now_ns() } else { 0 };
+        let _ = self.inboxes[pe].send(Directive::Deliver { idx, src, payload, sent_ns });
+        if self.tracing {
+            let rank = if from_pe == usize::MAX { HOST_RANK } else { from_pe as u32 };
+            // Payloads move by shared reference between PEs: bytes = 0.
+            self.sink.record(
+                TraceEvent::span(SpanKind::MsgSend, sent_ns, sent_ns, rank, 0)
+                    .with_task(src, babelflow_core::CallbackId(u32::MAX))
+                    .with_message(TaskId(idx), 0),
+            );
+        }
     }
 }
 
@@ -139,6 +157,18 @@ impl ChareCtx<'_> {
     pub fn pe(&self) -> usize {
         self.pe
     }
+
+    /// The runtime's trace sink, so chares can emit spans (e.g. the
+    /// dataflow controller's exactly-once task-execution span) on the same
+    /// timeline as the runtime's message events.
+    pub fn trace_sink(&self) -> &dyn TraceSink {
+        &*self.shared.sink
+    }
+
+    /// Whether tracing is live (callers skip clock reads when not).
+    pub fn tracing(&self) -> bool {
+        self.shared.tracing
+    }
 }
 
 /// Load-balancing strategy.
@@ -161,13 +191,20 @@ pub struct CharmRuntime {
     /// Quiescence timeout: if no chare retires for this long, the run is
     /// declared stalled.
     pub timeout: Duration,
+    /// Trace consumer (no-op by default).
+    pub sink: Arc<dyn TraceSink>,
 }
 
 impl CharmRuntime {
     /// Runtime with `pes` processing elements and no load balancing.
     pub fn new(pes: usize) -> Self {
         assert!(pes > 0, "need at least one PE");
-        CharmRuntime { pes, lb: LoadBalance::Off, timeout: Duration::from_secs(10) }
+        CharmRuntime {
+            pes,
+            lb: LoadBalance::Off,
+            timeout: Duration::from_secs(10),
+            sink: noop_sink(),
+        }
     }
 
     /// Enable a load-balancing strategy.
@@ -179,6 +216,12 @@ impl CharmRuntime {
     /// Set the quiescence timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Record trace events into `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -223,6 +266,8 @@ impl CharmRuntime {
             migrations: AtomicU64::new(0),
             late_msgs: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
+            sink: self.sink.clone(),
+            tracing: self.sink.enabled(),
         });
 
         // Bootstrap messages, routed like any remote invocation.
@@ -328,7 +373,7 @@ fn pe_main<F>(
         my_indices.into_iter().map(|i| (i, factory(i))).collect();
     // Messages for chares that are migrating toward this PE but whose
     // state has not arrived yet.
-    let mut waiting: HashMap<u64, Vec<(TaskId, Payload)>> = HashMap::new();
+    let mut waiting: HashMap<u64, Vec<(TaskId, Payload, u64)>> = HashMap::new();
 
     loop {
         let directive = match rx.recv_timeout(Duration::from_secs(60)) {
@@ -338,20 +383,22 @@ fn pe_main<F>(
         };
         match directive {
             Directive::Stop => return,
-            Directive::Deliver { idx, src, payload } => {
+            Directive::Deliver { idx, src, payload, sent_ns } => {
                 if chares.contains_key(&idx) {
-                    run_entry(pe, &shared, &mut chares, idx, src, payload);
+                    run_entry(pe, &shared, &mut chares, idx, src, payload, sent_ns);
                 } else {
                     let owner = shared.locations.lock().get(&idx).copied();
                     match owner {
                         Some(p) if p == pe => {
                             // Inbound migration in flight: stash until the
                             // state arrives.
-                            waiting.entry(idx).or_default().push((src, payload));
+                            waiting.entry(idx).or_default().push((src, payload, sent_ns));
                         }
                         Some(p) => {
-                            // Raced with an outbound migration: forward.
-                            let _ = shared.inboxes[p].send(Directive::Deliver { idx, src, payload });
+                            // Raced with an outbound migration: forward,
+                            // keeping the original send stamp.
+                            let _ = shared.inboxes[p]
+                                .send(Directive::Deliver { idx, src, payload, sent_ns });
                         }
                         None => {
                             // Chare already retired: late/duplicate message.
@@ -376,8 +423,8 @@ fn pe_main<F>(
             Directive::Install { idx, chare } => {
                 chares.insert(idx, chare);
                 if let Some(msgs) = waiting.remove(&idx) {
-                    for (src, payload) in msgs {
-                        run_entry(pe, &shared, &mut chares, idx, src, payload);
+                    for (src, payload, sent_ns) in msgs {
+                        run_entry(pe, &shared, &mut chares, idx, src, payload, sent_ns);
                     }
                 }
             }
@@ -386,6 +433,7 @@ fn pe_main<F>(
 }
 
 /// Execute one entry method, handling retirement.
+#[allow(clippy::too_many_arguments)]
 fn run_entry(
     pe: usize,
     shared: &Arc<Shared>,
@@ -393,8 +441,19 @@ fn run_entry(
     idx: u64,
     src: TaskId,
     payload: Payload,
+    sent_ns: u64,
 ) {
     let start = Instant::now();
+    if shared.tracing {
+        let t = now_ns();
+        // The in-flight + inbox time of this message, charged to the
+        // receiving chare (its task id is its array index by convention).
+        shared.sink.record(
+            TraceEvent::span(SpanKind::QueueWait, sent_ns, t, pe as u32, 0)
+                .with_task(TaskId(idx), babelflow_core::CallbackId(u32::MAX))
+                .with_message(src, 0),
+        );
+    }
     let mut ctx = ChareCtx { shared, pe, self_idx: idx };
     let retired = {
         let chare = chares.get_mut(&idx).expect("caller checked presence");

@@ -8,12 +8,14 @@
 //! any of them unmodified.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use crate::graph::TaskGraph;
 use crate::ids::{CallbackId, TaskId};
 use crate::payload::Payload;
 use crate::registry::Registry;
 use crate::taskmap::TaskMap;
+use crate::trace::{noop_sink, TraceSink};
 
 /// Initial inputs handed to the dataflow: for each task with external input
 /// slots, the payloads filling those slots in slot order.
@@ -51,6 +53,16 @@ impl RunStats {
         self.remote_messages += other.remote_messages;
         self.remote_bytes += other.remote_bytes;
         self.local_messages += other.local_messages;
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} tasks, {} local messages, {} remote messages ({} bytes)",
+            self.tasks_executed, self.local_messages, self.remote_messages, self.remote_bytes
+        )
     }
 }
 
@@ -131,6 +143,25 @@ pub trait Controller {
         map: &dyn TaskMap,
         registry: &Registry,
         initial: InitialInputs,
+    ) -> Result<RunReport> {
+        self.run_traced(graph, map, registry, initial, noop_sink())
+    }
+
+    /// Like [`run`](Self::run), but emit [`TraceEvent`]s describing the
+    /// execution (task spans, callback spans, message send/recv, queue
+    /// waits) into `sink`. Every backend emits the same schema, so traces
+    /// from different runtimes are directly comparable. Pass a
+    /// [`NoopSink`](crate::trace::NoopSink) (what [`run`](Self::run)
+    /// does) to opt out at zero cost.
+    ///
+    /// [`TraceEvent`]: crate::trace::TraceEvent
+    fn run_traced(
+        &mut self,
+        graph: &dyn TaskGraph,
+        map: &dyn TaskMap,
+        registry: &Registry,
+        initial: InitialInputs,
+        sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport>;
 
     /// Human-readable backend name (used in reports and benchmarks).
@@ -209,5 +240,33 @@ mod tests {
         let b = RunStats { tasks_executed: 10, remote_messages: 20, remote_bytes: 30, local_messages: 40 };
         a.merge(&b);
         assert_eq!(a, RunStats { tasks_executed: 11, remote_messages: 22, remote_bytes: 33, local_messages: 44 });
+    }
+
+    /// Parse a `Display`ed RunStats back into counters.
+    fn parse_stats(text: &str) -> RunStats {
+        let nums: Vec<u64> = text
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(nums.len(), 4, "display carries exactly the four counters: {text}");
+        RunStats {
+            tasks_executed: nums[0],
+            local_messages: nums[1],
+            remote_messages: nums[2],
+            remote_bytes: nums[3],
+        }
+    }
+
+    #[test]
+    fn stats_merge_then_display_round_trips() {
+        let mut a = RunStats { tasks_executed: 5, remote_messages: 7, remote_bytes: 1024, local_messages: 11 };
+        let b = RunStats { tasks_executed: 3, remote_messages: 2, remote_bytes: 16, local_messages: 9 };
+        a.merge(&b);
+        let shown = a.to_string();
+        // Every merged counter appears, in a stable order, and survives a
+        // parse back — Display is lossless over the counters.
+        assert_eq!(parse_stats(&shown), a);
+        assert_eq!(shown, "8 tasks, 20 local messages, 9 remote messages (1040 bytes)");
     }
 }

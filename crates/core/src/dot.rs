@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 
 use crate::graph::TaskGraph;
 use crate::ids::{CallbackId, TaskId};
+use crate::stats::graph_stats;
 
 /// Styling hook: maps a callback id to a node label prefix and fill color.
 pub type StyleFn<'a> = dyn Fn(CallbackId) -> (&'static str, &'static str) + 'a;
@@ -39,6 +40,14 @@ pub fn to_dot_subset(graph: &dyn TaskGraph, ids: &[TaskId], style: &StyleFn<'_>)
     let mut ext = 0usize;
 
     out.push_str("digraph taskgraph {\n");
+    // Static structure summary, so a drawing can be eyeballed against a
+    // recorded trace without recomputing the stats.
+    let gs = graph_stats(graph);
+    let _ = writeln!(
+        out,
+        "  // graph_stats: tasks={} edges={} depth={} max_width={} max_fan_in={} max_fan_out={}",
+        gs.tasks, gs.edges, gs.depth, gs.max_width, gs.max_fan_in, gs.max_fan_out
+    );
     out.push_str("  rankdir=TB;\n  node [shape=circle, style=filled];\n");
 
     for &id in ids {
@@ -107,6 +116,13 @@ mod tests {
         assert!(dot.contains("t1 ["));
         assert!(dot.contains("t0 -> t1"));
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn header_comment_carries_graph_stats() {
+        let dot = to_dot(&tiny());
+        assert!(dot.starts_with("digraph taskgraph {")); // comment stays inside the block
+        assert!(dot.contains("// graph_stats: tasks=2 edges=1 depth=2 max_width=1"));
     }
 
     #[test]

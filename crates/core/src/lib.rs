@@ -70,6 +70,7 @@ pub mod stats;
 pub mod sync;
 pub mod task;
 pub mod taskmap;
+pub mod trace;
 
 pub use buffer::{Bytes, BytesMut};
 pub use codec::{DecodeError, Decoder, Encoder};
@@ -87,3 +88,4 @@ pub use serial::{canonical_outputs, run_serial, SerialController};
 pub use stats::{graph_stats, GraphStats};
 pub use task::Task;
 pub use taskmap::{check_consistency, BlockMap, FnMap, ModuloMap, TaskMap};
+pub use trace::{noop_sink, NoopSink, SpanKind, TraceEvent, TraceSink};

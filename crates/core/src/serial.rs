@@ -7,6 +7,7 @@
 //! every parallel backend's output against this one.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use crate::controller::{
     preflight, Controller, ControllerError, InitialInputs, Result, RunReport, RunStats,
@@ -17,6 +18,7 @@ use crate::payload::Payload;
 use crate::registry::Registry;
 use crate::task::Task;
 use crate::taskmap::TaskMap;
+use crate::trace::{now_ns, SpanKind, TraceEvent, TraceSink};
 
 /// Single-threaded, deterministic task-graph executor.
 ///
@@ -68,14 +70,16 @@ impl TaskState {
 }
 
 impl Controller for SerialController {
-    fn run(
+    fn run_traced(
         &mut self,
         graph: &dyn TaskGraph,
         _map: &dyn TaskMap,
         registry: &Registry,
         initial: InitialInputs,
+        sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
         preflight(graph, registry, &initial)?;
+        let tracing = sink.enabled();
 
         let mut ids = graph.ids();
         ids.sort();
@@ -102,16 +106,37 @@ impl Controller for SerialController {
 
         let mut queue: VecDeque<TaskId> =
             ids.iter().copied().filter(|id| states[id].ready()).collect();
+        // When a task entered the ready queue, for queue-wait spans.
+        let mut ready_at: HashMap<TaskId, u64> = HashMap::new();
+        if tracing {
+            let t = now_ns();
+            ready_at.extend(queue.iter().map(|&id| (id, t)));
+        }
 
         let mut report = RunReport::default();
         let mut stats = RunStats::default();
 
         while let Some(id) = queue.pop_front() {
             let st = states.remove(&id).expect("queued task has state");
+            let exec_start = if tracing { now_ns() } else { 0 };
+            if tracing {
+                let ready = ready_at.remove(&id).unwrap_or(exec_start);
+                sink.record(
+                    TraceEvent::span(SpanKind::QueueWait, ready, exec_start, 0, 0)
+                        .with_task(id, st.task.callback),
+                );
+            }
             let inputs: Vec<Payload> =
                 st.inputs.into_iter().map(|p| p.expect("ready task has all inputs")).collect();
             let cb = registry.get(st.task.callback).expect("preflight checked bindings");
+            let cb_start = if tracing { now_ns() } else { 0 };
             let outputs = cb(inputs, id);
+            if tracing {
+                sink.record(
+                    TraceEvent::span(SpanKind::Callback, cb_start, now_ns(), 0, 0)
+                        .with_task(id, st.task.callback),
+                );
+            }
             stats.tasks_executed += 1;
 
             if outputs.len() != st.task.fan_out() {
@@ -128,6 +153,7 @@ impl Controller for SerialController {
                         report.outputs.entry(id).or_insert_with(Vec::new).push(payload.clone());
                         continue;
                     }
+                    let send_start = if tracing { now_ns() } else { 0 };
                     let dst_state = states.get_mut(&dst).ok_or_else(|| {
                         ControllerError::Runtime(format!(
                             "task {id} sent to unknown or already-executed task {dst}"
@@ -139,10 +165,28 @@ impl Controller for SerialController {
                         )));
                     }
                     stats.local_messages += 1;
+                    if tracing {
+                        // In-memory move: no serialization, bytes = 0.
+                        sink.record(
+                            TraceEvent::span(SpanKind::MsgSend, send_start, now_ns(), 0, 0)
+                                .with_task(id, st.task.callback)
+                                .with_message(dst, 0),
+                        );
+                    }
                     if dst_state.ready() {
+                        if tracing {
+                            ready_at.insert(dst, now_ns());
+                        }
                         queue.push_back(dst);
                     }
                 }
+            }
+
+            if tracing {
+                sink.record(
+                    TraceEvent::span(SpanKind::TaskExec, exec_start, now_ns(), 0, 0)
+                        .with_task(id, st.task.callback),
+                );
             }
         }
 

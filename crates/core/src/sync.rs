@@ -115,6 +115,43 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A monotonically increasing `u64` counter over `AtomicU64`.
+///
+/// The documented atomic wrapper for the substrate's hot-path counters
+/// (message sequence numbers, delivery tallies): `fetch_add` under
+/// `Relaxed` ordering, because each counter is an independent statistic —
+/// no other memory is published through it, so acquire/release fences
+/// would buy nothing and cost a barrier on weakly-ordered targets.
+/// Callers needing a happens-before edge must pair the counter with a
+/// lock or channel (as the runtimes already do for payload delivery).
+#[derive(Debug, Default)]
+pub struct Counter {
+    inner: std::sync::atomic::AtomicU64,
+}
+
+impl Counter {
+    /// Create a counter starting at `value`.
+    pub fn new(value: u64) -> Self {
+        Counter { inner: std::sync::atomic::AtomicU64::new(value) }
+    }
+
+    /// Add `n`, returning the value *before* the addition (so the result
+    /// is a unique ticket when `n == 1`).
+    pub fn fetch_add(&self, n: u64) -> u64 {
+        self.inner.fetch_add(n, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Increment by one, returning the previous value.
+    pub fn next(&self) -> u64 {
+        self.fetch_add(1)
+    }
+
+    /// Current value. A snapshot only: other threads may be mid-increment.
+    pub fn get(&self) -> u64 {
+        self.inner.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// A condition variable paired with [`Mutex`].
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -221,6 +258,23 @@ mod tests {
         drop((a, b));
         *l.write() = 9;
         assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn counter_tickets_are_unique_across_threads() {
+        let c = Arc::new(Counter::new(0));
+        let mut seen: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = c.clone();
+                    s.spawn(move || (0..1000).map(|_| c.next()).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, (0..4000).collect::<Vec<u64>>());
+        assert_eq!(c.get(), 4000);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use babelflow_core::trace::TraceSink;
 use babelflow_core::{
     preflight, Controller, ControllerError, InitialInputs, Registry, Result, RunReport, TaskGraph,
     TaskId, TaskMap,
@@ -95,15 +96,16 @@ pub fn crawl_rounds(graph: &dyn TaskGraph) -> Vec<Vec<TaskId>> {
 }
 
 impl Controller for LegionIndexLaunchController {
-    fn run(
+    fn run_traced(
         &mut self,
         graph: &dyn TaskGraph,
         _map: &dyn TaskMap, // "neither phase barriers nor task maps are required"
         registry: &Registry,
         initial: InitialInputs,
+        sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
         preflight(graph, registry, &initial)?;
-        let rt = LegionRuntime::new(self.workers);
+        let rt = LegionRuntime::with_sink(self.workers, sink);
         attach_inputs(&rt, graph, &initial);
 
         let no_barriers = Arc::new(HashMap::new());
@@ -126,6 +128,8 @@ impl Controller for LegionIndexLaunchController {
                         no_barriers.clone(),
                         sinks.clone(),
                         Vec::new(),
+                        // No task map: every point runs "rank" 0.
+                        0,
                     ))
                 })
                 .collect();

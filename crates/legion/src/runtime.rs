@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use babelflow_core::trace::{noop_sink, now_ns, SpanKind, TraceEvent, TraceSink, HOST_RANK};
 use babelflow_core::Payload;
 use babelflow_core::sync::{Condvar, Mutex};
 
@@ -108,12 +109,28 @@ pub struct TaskLauncher {
     pub barriers: Vec<u64>,
     /// The task body.
     pub body: TaskBody,
+    /// Dataflow task id this launcher executes, for trace attribution
+    /// (`u64::MAX` for launchers that are not dataflow tasks, e.g. SPMD
+    /// shard tasks — their queue waits are recorded unattributed).
+    pub trace_task: u64,
 }
 
 impl TaskLauncher {
     /// A launcher with the given name and body and no requirements yet.
     pub fn new(name: &'static str, body: TaskBody) -> Self {
-        TaskLauncher { name, requirements: Vec::new(), barriers: Vec::new(), body }
+        TaskLauncher {
+            name,
+            requirements: Vec::new(),
+            barriers: Vec::new(),
+            body,
+            trace_task: u64::MAX,
+        }
+    }
+
+    /// Attribute this launcher's trace events to a dataflow task.
+    pub fn with_trace_task(mut self, task: u64) -> Self {
+        self.trace_task = task;
+        self
     }
 
     /// Add a region requirement.
@@ -154,6 +171,15 @@ struct PendingTask {
     name: &'static str,
     body: TaskBody,
     unmet: usize,
+    trace_task: u64,
+}
+
+/// A task whose preconditions are all met, queued for a worker.
+struct ReadyTask {
+    body: TaskBody,
+    trace_task: u64,
+    /// [`now_ns`] when the task became ready (0 when tracing is off).
+    ready_ns: u64,
 }
 
 struct SchedState {
@@ -165,10 +191,13 @@ struct SchedState {
     waiters: HashMap<Precondition, Vec<usize>>,
     /// Events already triggered (region writes / barrier triggers).
     triggered: std::collections::HashSet<Precondition>,
-    ready: VecDeque<(usize, &'static str, TaskBody)>,
+    ready: VecDeque<ReadyTask>,
     /// Tasks launched but not yet completed.
     outstanding: usize,
     shutdown: bool,
+    /// Cached `sink.enabled()`, so `trigger` can stamp ready times without
+    /// reaching the sink through `Inner`.
+    tracing: bool,
 }
 
 struct Inner {
@@ -179,6 +208,7 @@ struct Inner {
     stats_tasks: AtomicU64,
     stats_launches: AtomicU64,
     next_barrier: AtomicU64,
+    sink: Arc<dyn TraceSink>,
 }
 
 /// The Legion-like runtime: a worker pool executing launched tasks as their
@@ -238,6 +268,17 @@ impl TaskCtx<'_> {
         submit(self.inner, launcher);
     }
 
+    /// The runtime's trace sink, so task bodies can emit execution spans
+    /// on the same timeline as the runtime's queue-wait events.
+    pub fn trace_sink(&self) -> &dyn TraceSink {
+        &*self.inner.sink
+    }
+
+    /// Whether tracing is live (callers skip clock reads when not).
+    pub fn tracing(&self) -> bool {
+        self.inner.sink.enabled()
+    }
+
     /// Whether a phase barrier has triggered (for polling shard tasks).
     pub fn barrier_triggered(&self, barrier: u64) -> bool {
         self.inner
@@ -256,12 +297,17 @@ fn trigger(st: &mut SchedState, pre: Precondition) {
         return;
     }
     if let Some(waiters) = st.waiters.remove(&pre) {
+        let ready_ns = if st.tracing { now_ns() } else { 0 };
         for idx in waiters {
             if let Some(p) = st.pending[idx].as_mut() {
                 p.unmet -= 1;
                 if p.unmet == 0 {
                     let p = st.pending[idx].take().expect("checked above");
-                    st.ready.push_back((idx, p.name, p.body));
+                    st.ready.push_back(ReadyTask {
+                        body: p.body,
+                        trace_task: p.trace_task,
+                        ready_ns,
+                    });
                 }
             }
         }
@@ -293,10 +339,20 @@ fn submit(inner: &Inner, launcher: TaskLauncher) {
         }
     }
     if unmet == 0 {
-        st.ready.push_back((idx, launcher.name, launcher.body));
+        let ready_ns = if st.tracing { now_ns() } else { 0 };
+        st.ready.push_back(ReadyTask {
+            body: launcher.body,
+            trace_task: launcher.trace_task,
+            ready_ns,
+        });
         st.pending.push(None);
     } else {
-        st.pending.push(Some(PendingTask { name: launcher.name, body: launcher.body, unmet }));
+        st.pending.push(Some(PendingTask {
+            name: launcher.name,
+            body: launcher.body,
+            unmet,
+            trace_task: launcher.trace_task,
+        }));
     }
     drop(st);
     inner.cv.notify_all();
@@ -309,7 +365,14 @@ fn submit(inner: &Inner, launcher: TaskLauncher) {
 impl LegionRuntime {
     /// A runtime executing on `workers` threads.
     pub fn new(workers: usize) -> Self {
+        Self::with_sink(workers, noop_sink())
+    }
+
+    /// A runtime recording queue-wait spans into `sink` (task bodies reach
+    /// the same sink through [`TaskCtx::trace_sink`]).
+    pub fn with_sink(workers: usize, sink: Arc<dyn TraceSink>) -> Self {
         assert!(workers > 0, "need at least one worker");
+        let tracing = sink.enabled();
         let inner = Arc::new(Inner {
             state: Mutex::new(SchedState {
                 regions: HashMap::new(),
@@ -320,6 +383,7 @@ impl LegionRuntime {
                 ready: VecDeque::new(),
                 outstanding: 0,
                 shutdown: false,
+                tracing,
             }),
             cv: Condvar::new(),
             stats_staging_ns: AtomicU64::new(0),
@@ -327,6 +391,7 @@ impl LegionRuntime {
             stats_tasks: AtomicU64::new(0),
             stats_launches: AtomicU64::new(0),
             next_barrier: AtomicU64::new(0),
+            sink,
         });
         LegionRuntime { inner, workers }
     }
@@ -395,8 +460,8 @@ impl LegionRuntime {
     pub fn wait_all(&self, timeout: Duration) -> bool {
         let inner = &self.inner;
         std::thread::scope(|s| {
-            for _ in 0..self.workers {
-                s.spawn(move || worker_main(inner));
+            for w in 0..self.workers as u32 {
+                s.spawn(move || worker_main(inner, w));
             }
             // Progress monitor.
             let done = {
@@ -450,7 +515,7 @@ impl LegionRuntime {
     }
 }
 
-fn worker_main(inner: &Inner) {
+fn worker_main(inner: &Inner, worker: u32) {
     loop {
         let task = {
             let mut st = inner.state.lock();
@@ -464,7 +529,18 @@ fn worker_main(inner: &Inner) {
                 inner.cv.wait(&mut st);
             }
         };
-        let (_idx, _name, body) = task;
+        let ReadyTask { body, trace_task, ready_ns } = task;
+        if trace_task != u64::MAX && inner.sink.enabled() {
+            // The runtime has no shard notion; the task body records its
+            // execution span with the controller's rank.
+            inner.sink.record(
+                TraceEvent::span(SpanKind::QueueWait, ready_ns, now_ns(), HOST_RANK, worker)
+                    .with_task(
+                        babelflow_core::TaskId(trace_task),
+                        babelflow_core::CallbackId(u32::MAX),
+                    ),
+            );
+        }
         let start = Instant::now();
         let ctx = TaskCtx { inner };
         body(&ctx);

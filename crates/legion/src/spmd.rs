@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
+use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink};
 use babelflow_core::{
     preflight, Callback, Controller, ControllerError, InitialInputs, Payload, Registry, Result,
     RunReport, ShardId, Task, TaskGraph, TaskId, TaskMap,
@@ -89,6 +90,7 @@ pub(crate) fn build_task_launcher(
     barriers: Arc<HashMap<RegionKey, u64>>,
     sinks: Arc<Sinks>,
     cross_shard_inputs: Vec<u64>,
+    rank: u32,
 ) -> TaskLauncher {
     let in_regions = input_regions(&task);
 
@@ -102,11 +104,21 @@ pub(crate) fn build_task_launcher(
         }
     }
 
+    let trace_task = task.id.0;
     let mut launcher = TaskLauncher::new(
         "dataflow-task",
         Box::new(move |ctx| {
+            let tracing = ctx.tracing();
+            let exec_start = if tracing { now_ns() } else { 0 };
             let inputs: Vec<Payload> = in_regions.iter().map(|&r| ctx.read_region(r)).collect();
+            let cb_start = if tracing { now_ns() } else { 0 };
             let outputs = callback(inputs, task.id);
+            if tracing {
+                ctx.trace_sink().record(
+                    TraceEvent::span(SpanKind::Callback, cb_start, now_ns(), rank, 0)
+                        .with_task(task.id, task.callback),
+                );
+            }
             if outputs.len() != task.fan_out() {
                 let mut err = sinks.error.lock();
                 if err.is_none() {
@@ -128,16 +140,32 @@ pub(crate) fn build_task_launcher(
                         .push(outputs[slot].clone());
                     continue;
                 }
+                let send_start = if tracing { now_ns() } else { 0 };
                 ctx.write_region(region, outputs[slot].clone());
                 if let Some(&b) = barriers.get(&region) {
                     ctx.arrive(b);
                 }
+                if tracing {
+                    // Region writes move payloads in memory: bytes = 0.
+                    ctx.trace_sink().record(
+                        TraceEvent::span(SpanKind::MsgSend, send_start, now_ns(), rank, 0)
+                            .with_task(task.id, task.callback)
+                            .with_message(TaskId(region.dst), 0),
+                    );
+                }
             }
             sinks.executed.lock().insert(task.id);
+            if tracing {
+                ctx.trace_sink().record(
+                    TraceEvent::span(SpanKind::TaskExec, exec_start, now_ns(), rank, 0)
+                        .with_task(task.id, task.callback),
+                );
+            }
         }),
     );
     launcher.requirements = reqs;
     launcher.barriers = cross_shard_inputs;
+    launcher.trace_task = trace_task;
     launcher
 }
 
@@ -161,20 +189,21 @@ fn launcher_for(
         }
     }
     let callback = registry.get(task.callback).expect("preflight checked bindings").clone();
-    build_task_launcher(task.clone(), callback, barriers.clone(), sinks.clone(), waits)
+    build_task_launcher(task.clone(), callback, barriers.clone(), sinks.clone(), waits, home.0)
 }
 
 impl Controller for LegionSpmdController {
-    fn run(
+    fn run_traced(
         &mut self,
         graph: &dyn TaskGraph,
         map: &dyn TaskMap,
         registry: &Registry,
         initial: InitialInputs,
+        sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
         preflight(graph, registry, &initial)?;
         let shards = map.num_shards();
-        let rt = LegionRuntime::new(self.workers);
+        let rt = LegionRuntime::with_sink(self.workers, sink);
         attach_inputs(&rt, graph, &initial);
 
         // One phase barrier per cross-shard edge.

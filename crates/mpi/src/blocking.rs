@@ -15,8 +15,10 @@
 //! the two isolate exactly the scheduling difference.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
+use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink, CONTROL_THREAD};
 use babelflow_core::{
     preflight, Controller, ControllerError, InitialInputs, InputBuffer, Payload, Registry, Result,
     RunReport, RunStats, ShardId, TaskGraph, TaskId, TaskMap,
@@ -100,12 +102,13 @@ pub fn static_schedule(graph: &dyn TaskGraph) -> HashMap<TaskId, usize> {
 }
 
 impl Controller for BlockingMpiController {
-    fn run(
+    fn run_traced(
         &mut self,
         graph: &dyn TaskGraph,
         map: &dyn TaskMap,
         registry: &Registry,
         initial: InitialInputs,
+        sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
         preflight(graph, registry, &initial)?;
         let schedule = static_schedule(graph);
@@ -127,8 +130,11 @@ impl Controller for BlockingMpiController {
                     .into_iter()
                     .zip(rank_inputs)
                     .map(|(ep, inputs)| {
+                        let sink = sink.clone();
                         s.spawn(move || {
-                            blocking_rank_main(ep, graph, map, registry, inputs, schedule, timeout)
+                            blocking_rank_main(
+                                ep, graph, map, registry, inputs, schedule, timeout, sink,
+                            )
                         })
                     })
                     .collect();
@@ -149,6 +155,7 @@ impl Controller for BlockingMpiController {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn blocking_rank_main(
     ep: RankComm,
     graph: &dyn TaskGraph,
@@ -157,7 +164,10 @@ fn blocking_rank_main(
     initial: InitialInputs,
     schedule: &HashMap<TaskId, usize>,
     timeout: Duration,
+    sink: Arc<dyn TraceSink>,
 ) -> Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)> {
+    let tracing = sink.enabled();
+    let my_rank = ep.rank() as u32;
     let my_shard = ShardId(ep.rank() as u32);
     let mut local = graph.local_graph(my_shard, map);
     // The static schedule: strictly follow the global topological order.
@@ -184,6 +194,7 @@ fn blocking_rank_main(
         // Blocking phase: wait until this specific task is complete,
         // ignoring whether later tasks could already run (the baseline's
         // weakness under load imbalance).
+        let wait_start = if tracing { now_ns() } else { 0 };
         while !buffers[&task.id].ready() {
             let Some(env) = ep.recv_timeout(timeout) else {
                 let mut pending: Vec<TaskId> =
@@ -191,6 +202,8 @@ fn blocking_rank_main(
                 pending.sort();
                 return Err(ControllerError::Deadlock { pending });
             };
+            let recv_start = if tracing { now_ns() } else { 0 };
+            let wire_bytes = env.body.len() as u64;
             let msg = DataflowMsg::decode(&env.body).ok_or_else(|| {
                 ControllerError::Runtime(format!("malformed message from rank {}", env.src))
             })?;
@@ -203,11 +216,38 @@ fn blocking_rank_main(
                     msg.src_task, msg.dst_task
                 )));
             }
+            if tracing {
+                sink.record(
+                    TraceEvent::span(SpanKind::MsgRecv, recv_start, now_ns(), my_rank, CONTROL_THREAD)
+                        .with_task(msg.dst_task, buf.task().callback)
+                        .with_message(msg.src_task, wire_bytes),
+                );
+            }
         }
 
         let (task, inputs) = buffers.remove(&task.id).expect("scheduled task buffered").take();
+        let exec_start = if tracing { now_ns() } else { 0 };
+        if tracing {
+            // For the blocking baseline, "queue wait" is the blocking-recv
+            // phase: time the static schedule stalled on this task's inputs.
+            sink.record(
+                TraceEvent::span(SpanKind::QueueWait, wait_start, exec_start, my_rank, 0)
+                    .with_task(task.id, task.callback),
+            );
+        }
         let cb = registry.get(task.callback).expect("preflight checked bindings");
         let outs = cb(inputs, task.id);
+        if tracing {
+            let end = now_ns();
+            sink.record(
+                TraceEvent::span(SpanKind::Callback, exec_start, end, my_rank, 0)
+                    .with_task(task.id, task.callback),
+            );
+            sink.record(
+                TraceEvent::span(SpanKind::TaskExec, exec_start, end, my_rank, 0)
+                    .with_task(task.id, task.callback),
+            );
+        }
         stats.tasks_executed += 1;
         if outs.len() != task.fan_out() {
             return Err(ControllerError::BadOutputArity {
@@ -233,12 +273,30 @@ fn blocking_rank_main(
                         )));
                     }
                     stats.local_messages += 1;
+                    if tracing {
+                        let t = now_ns();
+                        // In-memory move: no serialization, bytes = 0.
+                        sink.record(
+                            TraceEvent::span(SpanKind::MsgSend, t, t, my_rank, 0)
+                                .with_task(task.id, task.callback)
+                                .with_message(dst, 0),
+                        );
+                    }
                 } else {
+                    let send_start = if tracing { now_ns() } else { 0 };
                     let msg = DataflowMsg::from_payload(dst, task.id, &payload);
                     let body = msg.encode();
                     stats.remote_messages += 1;
                     stats.remote_bytes += body.len() as u64;
+                    let wire_bytes = body.len() as u64;
                     ep.isend(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
+                    if tracing {
+                        sink.record(
+                            TraceEvent::span(SpanKind::MsgSend, send_start, now_ns(), my_rank, 0)
+                                .with_task(task.id, task.callback)
+                                .with_message(dst, wire_bytes),
+                        );
+                    }
                 }
             }
         }

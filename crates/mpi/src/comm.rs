@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use babelflow_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use babelflow_core::sync::Mutex;
+use babelflow_core::sync::Counter;
 
 /// A message in flight: source rank, tag, and opaque bytes.
 #[derive(Debug, Clone)]
@@ -31,14 +31,19 @@ pub struct Envelope {
 }
 
 /// Deterministic fault injection for tests: which (src, dst, seq) sends to
-/// drop and which to duplicate. `seq` counts messages on that directed
-/// pair, starting at 0.
+/// drop, which to duplicate, and which to delay. `seq` counts messages on
+/// that directed pair, starting at 0.
 #[derive(Debug, Default, Clone)]
 pub struct FaultPlan {
     /// Messages to silently drop.
     pub drop: Vec<(usize, usize, u64)>,
     /// Messages to deliver twice.
     pub duplicate: Vec<(usize, usize, u64)>,
+    /// Messages to hold back for the given duration before delivery.
+    /// Later sends on the same pair overtake the held message, so this is
+    /// how tests exercise reordering (MPI's per-pair FIFO guarantee is
+    /// deliberately violated for the matched message only).
+    pub delay: Vec<(usize, usize, u64, Duration)>,
 }
 
 impl FaultPlan {
@@ -52,9 +57,11 @@ struct Shared {
     inboxes: Vec<Sender<Envelope>>,
     faults: FaultPlan,
     /// Per directed pair (src*n+dst) message counter for fault matching.
-    seq: Mutex<Vec<u64>>,
+    /// Lock-free ([`Counter`]) so concurrent senders never serialize on
+    /// the sequence-number hot path.
+    seq: Vec<Counter>,
     /// Total messages accepted for delivery (post-fault).
-    delivered: Mutex<u64>,
+    delivered: Counter,
 }
 
 /// A communication world of `n` ranks.
@@ -87,8 +94,8 @@ impl World {
         let shared = Arc::new(Shared {
             inboxes,
             faults,
-            seq: Mutex::new(vec![0; n * n]),
-            delivered: Mutex::new(0),
+            seq: (0..n * n).map(|_| Counter::new(0)).collect(),
+            delivered: Counter::new(0),
         });
         let endpoints = receivers
             .into_iter()
@@ -118,7 +125,7 @@ impl World {
 
     /// Messages delivered so far (after fault filtering).
     pub fn delivered(&self) -> u64 {
-        *self.shared.delivered.lock()
+        self.shared.delivered.get()
     }
 }
 
@@ -150,23 +157,36 @@ impl RankComm {
     pub fn isend(&self, dst: usize, tag: u32, body: babelflow_core::Bytes) {
         assert!(dst < self.n, "rank {dst} out of range");
         let pair = self.rank * self.n + dst;
-        let seq = {
-            let mut seqs = self.shared.seq.lock();
-            let s = seqs[pair];
-            seqs[pair] += 1;
-            s
-        };
+        let seq = self.shared.seq[pair].next();
         let key = (self.rank, dst, seq);
         if self.shared.faults.drop.contains(&key) {
             return;
         }
         let env = Envelope { src: self.rank, tag, body };
+        if let Some((_, _, _, hold)) = self
+            .shared
+            .faults
+            .delay
+            .iter()
+            .find(|&&(s, d, q, _)| (s, d, q) == key)
+        {
+            // Hold the message on a detached thread; subsequent sends on
+            // this pair overtake it, producing the reordering under test.
+            let shared = self.shared.clone();
+            let hold = *hold;
+            std::thread::spawn(move || {
+                std::thread::sleep(hold);
+                let _ = shared.inboxes[dst].send(env);
+                shared.delivered.next();
+            });
+            return;
+        }
         let copies = if self.shared.faults.duplicate.contains(&key) { 2 } else { 1 };
         for _ in 0..copies {
             // A send to a rank whose endpoint (and so receiver) was dropped
             // is a no-op, like a send that is never matched by a receive.
             let _ = self.shared.inboxes[dst].send(env.clone());
-            *self.shared.delivered.lock() += 1;
+            self.shared.delivered.next();
         }
     }
 
@@ -250,7 +270,7 @@ mod tests {
 
     #[test]
     fn dropped_message_never_arrives() {
-        let faults = FaultPlan { drop: vec![(0, 1, 0)], duplicate: vec![] };
+        let faults = FaultPlan { drop: vec![(0, 1, 0)], ..FaultPlan::none() };
         let mut w = World::with_faults(2, faults);
         let a = w.endpoint(0);
         let b = w.endpoint(1);
@@ -263,13 +283,32 @@ mod tests {
 
     #[test]
     fn duplicated_message_arrives_twice() {
-        let faults = FaultPlan { drop: vec![], duplicate: vec![(0, 1, 0)] };
+        let faults = FaultPlan { duplicate: vec![(0, 1, 0)], ..FaultPlan::none() };
         let mut w = World::with_faults(2, faults);
         let a = w.endpoint(0);
         let b = w.endpoint(1);
         a.isend(1, 0, Bytes::from_static(b"twin"));
         assert_eq!(b.recv().unwrap().body.as_ref(), b"twin");
         assert_eq!(b.recv_timeout(Duration::from_millis(100)).unwrap().body.as_ref(), b"twin");
+    }
+
+    #[test]
+    fn delayed_message_is_overtaken() {
+        let faults = FaultPlan {
+            delay: vec![(0, 1, 0, Duration::from_millis(50))],
+            ..FaultPlan::none()
+        };
+        let mut w = World::with_faults(2, faults);
+        let a = w.endpoint(0);
+        let b = w.endpoint(1);
+        a.isend(1, 0, Bytes::from_static(b"held"));
+        a.isend(1, 0, Bytes::from_static(b"prompt"));
+        // The second send overtakes the held first one: reordering.
+        let first = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(first.body.as_ref(), b"prompt");
+        let second = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(second.body.as_ref(), b"held");
+        assert_eq!(w.delivered(), 2);
     }
 
     #[test]

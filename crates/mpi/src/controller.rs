@@ -19,6 +19,7 @@
 //!   design).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::time::Duration;
 
 use babelflow_core::{
@@ -26,6 +27,7 @@ use babelflow_core::{
     RunReport, RunStats, ShardId, Task, TaskGraph, TaskId, TaskMap,
 };
 use babelflow_core::channel::{select2, unbounded, Select2, Sender};
+use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink, CONTROL_THREAD};
 
 use crate::comm::{FaultPlan, RankComm, World};
 use crate::wire::{DataflowMsg, TAG_DATAFLOW};
@@ -81,12 +83,13 @@ impl MpiController {
 pub(crate) type RankOutcome = Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)>;
 
 impl Controller for MpiController {
-    fn run(
+    fn run_traced(
         &mut self,
         graph: &dyn TaskGraph,
         map: &dyn TaskMap,
         registry: &Registry,
         initial: InitialInputs,
+        sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
         preflight(graph, registry, &initial)?;
         let nranks = map.num_shards() as usize;
@@ -108,8 +111,9 @@ impl Controller for MpiController {
                 .into_iter()
                 .zip(rank_inputs)
                 .map(|(ep, inputs)| {
+                    let sink = sink.clone();
                     s.spawn(move || {
-                        rank_main(ep, graph, map, registry, inputs, workers, timeout)
+                        rank_main(ep, graph, map, registry, inputs, workers, timeout, sink)
                     })
                 })
                 .collect();
@@ -134,6 +138,9 @@ impl Controller for MpiController {
 struct WorkItem {
     task: Task,
     inputs: Vec<Payload>,
+    /// When the task's inputs completed (0 when tracing is off); the
+    /// worker turns the gap until pickup into a queue-wait span.
+    ready_ns: u64,
 }
 
 /// Result returned by a worker.
@@ -148,15 +155,18 @@ fn dispatch_ready(
     buffers: &mut HashMap<TaskId, InputBuffer>,
     ready: Vec<TaskId>,
     work_tx: &Sender<WorkItem>,
+    tracing: bool,
 ) {
+    let ready_ns = if tracing { now_ns() } else { 0 };
     for id in ready {
         if let Some(buf) = buffers.remove(&id) {
             let (task, inputs) = buf.take();
-            work_tx.send(WorkItem { task, inputs }).expect("workers alive");
+            work_tx.send(WorkItem { task, inputs, ready_ns }).expect("workers alive");
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn rank_main(
     ep: RankComm,
     graph: &dyn TaskGraph,
@@ -165,6 +175,7 @@ pub(crate) fn rank_main(
     initial: InitialInputs,
     workers: usize,
     timeout: Duration,
+    sink: Arc<dyn TraceSink>,
 ) -> RankOutcome {
     let my_shard = ShardId(ep.rank() as u32);
     let local = graph.local_graph(my_shard, map);
@@ -183,19 +194,46 @@ pub(crate) fn rank_main(
         }
     }
 
+    let tracing = sink.enabled();
+    let my_rank = ep.rank() as u32;
     let (work_tx, work_rx) = unbounded::<WorkItem>();
     let (done_tx, done_rx) = unbounded::<DoneItem>();
 
     std::thread::scope(|s| {
         // Worker pool: executes ready tasks in the order their inputs
         // completed.
-        for _ in 0..workers {
+        for worker_idx in 0..workers as u32 {
             let work_rx = work_rx.clone();
             let done_tx = done_tx.clone();
+            let sink = sink.clone();
             s.spawn(move || {
-                while let Ok(WorkItem { task, inputs }) = work_rx.recv() {
+                while let Ok(WorkItem { task, inputs, ready_ns }) = work_rx.recv() {
+                    let exec_start = if tracing { now_ns() } else { 0 };
+                    if tracing {
+                        sink.record(
+                            TraceEvent::span(
+                                SpanKind::QueueWait,
+                                ready_ns,
+                                exec_start,
+                                my_rank,
+                                worker_idx,
+                            )
+                            .with_task(task.id, task.callback),
+                        );
+                    }
                     let cb = registry.get(task.callback).expect("preflight checked bindings");
                     let outputs = cb(inputs, task.id);
+                    if tracing {
+                        let end = now_ns();
+                        sink.record(
+                            TraceEvent::span(SpanKind::Callback, exec_start, end, my_rank, worker_idx)
+                                .with_task(task.id, task.callback),
+                        );
+                        sink.record(
+                            TraceEvent::span(SpanKind::TaskExec, exec_start, end, my_rank, worker_idx)
+                                .with_task(task.id, task.callback),
+                        );
+                    }
                     let outputs = if outputs.len() == task.fan_out() {
                         Ok(outputs)
                     } else {
@@ -221,7 +259,7 @@ pub(crate) fn rank_main(
             r.sort();
             r
         };
-        dispatch_ready(&mut buffers, initially_ready, &work_tx);
+        dispatch_ready(&mut buffers, initially_ready, &work_tx, tracing);
 
         while executed < local_total {
             // Biased two-way select: worker completions first, then network
@@ -250,21 +288,53 @@ pub(crate) fn rank_main(
                                     )));
                                 }
                                 stats.local_messages += 1;
+                                if tracing {
+                                    let t = now_ns();
+                                    // In-memory move: no serialization, bytes = 0.
+                                    sink.record(
+                                        TraceEvent::span(
+                                            SpanKind::MsgSend,
+                                            t,
+                                            t,
+                                            my_rank,
+                                            CONTROL_THREAD,
+                                        )
+                                        .with_task(task.id, task.callback)
+                                        .with_message(dst, 0),
+                                    );
+                                }
                                 if buf.ready() {
                                     newly_ready.push(dst);
                                 }
                             } else {
+                                let send_start = if tracing { now_ns() } else { 0 };
                                 let msg = DataflowMsg::from_payload(dst, task.id, &payload);
                                 let body = msg.encode();
                                 stats.remote_messages += 1;
                                 stats.remote_bytes += body.len() as u64;
+                                let wire_bytes = body.len() as u64;
                                 ep.isend(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
+                                if tracing {
+                                    sink.record(
+                                        TraceEvent::span(
+                                            SpanKind::MsgSend,
+                                            send_start,
+                                            now_ns(),
+                                            my_rank,
+                                            CONTROL_THREAD,
+                                        )
+                                        .with_task(task.id, task.callback)
+                                        .with_message(dst, wire_bytes),
+                                    );
+                                }
                             }
                         }
                     }
-                    dispatch_ready(&mut buffers, newly_ready, &work_tx);
+                    dispatch_ready(&mut buffers, newly_ready, &work_tx, tracing);
                 }
                 Select2::B(env) => {
+                    let recv_start = if tracing { now_ns() } else { 0 };
+                    let wire_bytes = env.body.len() as u64;
                     let msg = DataflowMsg::decode(&env.body).ok_or_else(|| {
                         ControllerError::Runtime(format!("malformed message from rank {}", env.src))
                     })?;
@@ -278,8 +348,21 @@ pub(crate) fn rank_main(
                             "unexpected delivery {} -> {}", msg.src_task, msg.dst_task
                         )));
                     }
+                    if tracing {
+                        sink.record(
+                            TraceEvent::span(
+                                SpanKind::MsgRecv,
+                                recv_start,
+                                now_ns(),
+                                my_rank,
+                                CONTROL_THREAD,
+                            )
+                            .with_task(msg.dst_task, buf.task().callback)
+                            .with_message(msg.src_task, wire_bytes),
+                        );
+                    }
                     if buf.ready() {
-                        dispatch_ready(&mut buffers, vec![msg.dst_task], &work_tx);
+                        dispatch_ready(&mut buffers, vec![msg.dst_task], &work_tx, tracing);
                     }
                 }
                 Select2::DisconnectedA => {

@@ -176,7 +176,7 @@ use babelflow_graphs::{BinarySwap, Reduction};
         let reg = sum_registry();
         let map = ModuloMap::new(2, g.size() as u64);
         // Drop the first message rank 1 sends to rank 0.
-        let faults = FaultPlan { drop: vec![(1, 0, 0)], duplicate: vec![] };
+        let faults = FaultPlan { drop: vec![(1, 0, 0)], ..FaultPlan::none() };
         let mut c = MpiController::new()
             .with_faults(faults)
             .with_timeout(Duration::from_millis(200));
@@ -189,7 +189,7 @@ use babelflow_graphs::{BinarySwap, Reduction};
         let g = Reduction::new(4, 2);
         let reg = sum_registry();
         let map = ModuloMap::new(2, g.size() as u64);
-        let faults = FaultPlan { drop: vec![], duplicate: vec![(1, 0, 0)] };
+        let faults = FaultPlan { duplicate: vec![(1, 0, 0)], ..FaultPlan::none() };
         let mut c = MpiController::new()
             .with_faults(faults)
             .with_timeout(Duration::from_millis(500));

@@ -27,6 +27,21 @@ pub trait TaskCostModel: Send + Sync {
     fn external_input_bytes(&self, task: &Task, slot: usize) -> u64;
 }
 
+/// One simulated task execution: where and when a task ran in virtual
+/// time. Mirrors the `TaskExec` spans a real controller traces, so a
+/// recorded trace can be diffed against the simulator's prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimSpan {
+    /// The task that executed.
+    pub task: TaskId,
+    /// Core the task ran on (after any migration).
+    pub core: u32,
+    /// Virtual time the core picked the task up.
+    pub start_ns: Ns,
+    /// Virtual time the task (overhead + compute) finished.
+    pub end_ns: Ns,
+}
+
 /// Results of a simulated run.
 #[derive(Clone, Debug, Default)]
 pub struct SimReport {
@@ -46,6 +61,8 @@ pub struct SimReport {
     pub migrations: u64,
     /// Tasks executed.
     pub tasks: u64,
+    /// Per-task execution spans in event order (the predicted schedule).
+    pub timeline: Vec<SimSpan>,
 }
 
 impl SimReport {
@@ -295,8 +312,14 @@ pub fn simulate(
                 let compute = cost.compute_ns(&tasks[i_us], &in_bytes[i_us]);
                 report.compute_ns += compute;
                 report.overhead_ns += rc.task_overhead_ns;
-                let end =
-                    cores[exec_core[i_us] as usize].alloc(t, rc.task_overhead_ns + compute);
+                let work = rc.task_overhead_ns + compute;
+                let end = cores[exec_core[i_us] as usize].alloc(t, work);
+                report.timeline.push(SimSpan {
+                    task: tasks[i_us].id,
+                    core: exec_core[i_us],
+                    start_ns: end - work,
+                    end_ns: end,
+                });
                 push(&mut heap, &mut payloads, &mut seq, end, Ev::Done { idx });
             }
             Ev::Arrive { dst, src, bytes } => {

@@ -17,7 +17,7 @@ pub mod machine;
 pub mod models;
 
 pub use costs::{LbModel, RuntimeCosts, Schedule};
-pub use des::{simulate, SimReport, TaskCostModel};
+pub use des::{simulate, SimReport, SimSpan, TaskCostModel};
 pub use machine::{MachineConfig, Ns};
 pub use models::{imbalance, CompositeKind, MergeTreeCost, RegisterCost, RenderCost};
 
@@ -78,6 +78,21 @@ mod tests {
             b.makespan_ns,
             a.makespan_ns
         );
+    }
+
+    #[test]
+    fn timeline_covers_every_task_once() {
+        let r = merge_sim(32, RuntimeCosts::mpi_async());
+        assert_eq!(r.timeline.len() as u64, r.tasks);
+        let mut seen: std::collections::HashSet<_> =
+            r.timeline.iter().map(|s| s.task).collect();
+        assert_eq!(seen.len() as u64, r.tasks, "duplicate task in timeline");
+        seen.clear();
+        let last = r.timeline.iter().map(|s| s.end_ns).max().unwrap();
+        assert!(last <= r.makespan_ns);
+        for s in &r.timeline {
+            assert!(s.start_ns < s.end_ns, "empty span for {}", s.task);
+        }
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Chrome `trace_event` export.
+//!
+//! Serializes a [`Trace`] into the JSON object format that
+//! `chrome://tracing`, Perfetto, and Speedscope load directly: one
+//! complete-duration (`"ph": "X"`) event per span, timestamps and
+//! durations in floating-point microseconds, `pid` = rank and `tid` =
+//! worker thread so the viewer groups rows the way the run was actually
+//! laid out. Sentinel ranks/threads ([`HOST_RANK`], [`CONTROL_THREAD`])
+//! map to `-1` so the scheduler row sorts apart from the workers.
+
+use babelflow_core::trace::{CONTROL_THREAD, HOST_RANK};
+use babelflow_core::{SpanKind, TaskId, TraceEvent};
+
+use crate::recorder::Trace;
+
+/// `u32` sentinel-aware id: `-1` for the sentinel, the value otherwise.
+fn row(value: u32, sentinel: u32) -> i64 {
+    if value == sentinel {
+        -1
+    } else {
+        value as i64
+    }
+}
+
+/// `TaskId` as a JSON number: `-1` for [`TaskId::EXTERNAL`].
+fn task_num(id: TaskId) -> i64 {
+    if id.is_external() {
+        -1
+    } else {
+        id.0 as i64
+    }
+}
+
+/// Human-readable event name for the viewer's row labels.
+fn name(e: &TraceEvent) -> String {
+    match e.kind {
+        SpanKind::TaskExec => format!("task {}", task_num(e.task)),
+        SpanKind::Callback => format!("cb{} task {}", e.callback.0, task_num(e.task)),
+        SpanKind::MsgSend => format!("send {} -> {}", task_num(e.task), task_num(e.peer)),
+        SpanKind::MsgRecv => format!("recv {} <- {}", task_num(e.task), task_num(e.peer)),
+        SpanKind::QueueWait => format!("wait {}", task_num(e.task)),
+    }
+}
+
+/// Nanoseconds to the format's microseconds, with sub-ns safe precision.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+/// Serialize one event as a complete-duration (`ph: "X"`) trace event.
+fn event_json(e: &TraceEvent) -> String {
+    let callback = if e.callback.0 == u32::MAX { -1 } else { e.callback.0 as i64 };
+    format!(
+        concat!(
+            r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"#,
+            r#""args":{{"task":{},"callback":{},"peer":{},"bytes":{}}}}}"#
+        ),
+        name(e),
+        e.kind.name(),
+        us(e.start_ns),
+        us(e.duration_ns()),
+        row(e.rank, HOST_RANK),
+        row(e.thread, CONTROL_THREAD),
+        task_num(e.task),
+        callback,
+        task_num(e.peer),
+        e.bytes,
+    )
+}
+
+/// Export a trace as a Chrome `trace_event` JSON document.
+///
+/// The result is a complete object (`{"traceEvents": [...]}`) that the
+/// in-repo [`json`](crate::json) parser — and any trace viewer — accepts.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 + trace.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in trace.events().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&event_json(e));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use babelflow_core::CallbackId;
+
+    fn sample() -> Trace {
+        Trace::from_events(vec![
+            TraceEvent::span(SpanKind::QueueWait, 500, 1_500, 0, 0)
+                .with_task(TaskId(2), CallbackId(1)),
+            TraceEvent::span(SpanKind::TaskExec, 1_500, 4_000, 0, 0)
+                .with_task(TaskId(2), CallbackId(1)),
+            TraceEvent::span(SpanKind::MsgSend, 3_000, 3_800, 1, CONTROL_THREAD)
+                .with_task(TaskId(2), CallbackId(1))
+                .with_message(TaskId(0), 64),
+        ])
+    }
+
+    #[test]
+    fn export_round_trips_through_own_parser() {
+        let doc = json::parse(&to_chrome_json(&sample())).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("ts").unwrap().as_num().is_some());
+            assert!(e.get("dur").unwrap().as_num().unwrap() >= 0.0);
+        }
+        // µs conversion: 1500 ns -> 1.5 µs start, 2500 ns -> 2.5 µs dur.
+        let exec = &events[1];
+        assert_eq!(exec.get("ts").unwrap().as_num(), Some(1.5));
+        assert_eq!(exec.get("dur").unwrap().as_num(), Some(2.5));
+        assert_eq!(exec.get("name").unwrap().as_str(), Some("task 2"));
+        assert_eq!(exec.get("cat").unwrap().as_str(), Some("task"));
+    }
+
+    #[test]
+    fn sentinels_map_to_minus_one() {
+        let doc = json::parse(&to_chrome_json(&sample())).unwrap();
+        let send = &doc.get("traceEvents").unwrap().as_arr().unwrap()[2];
+        assert_eq!(send.get("tid").unwrap().as_num(), Some(-1.0));
+        assert_eq!(send.get("args").unwrap().get("bytes").unwrap().as_num(), Some(64.0));
+        assert_eq!(send.get("args").unwrap().get("peer").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let doc = json::parse(&to_chrome_json(&Trace::default())).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

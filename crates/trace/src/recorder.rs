@@ -1,0 +1,196 @@
+//! The in-memory trace recorder and the [`Trace`] it produces.
+//!
+//! [`TraceRecorder`] is the workhorse [`TraceSink`]: controllers on every
+//! backend call [`TraceSink::record`] from their worker threads, so the
+//! recorder spreads appends over a fixed set of mutex-guarded shards.
+//! Each thread is pinned to one shard by a process-wide ticket, which
+//! keeps the common case (more shards than threads) contention-free while
+//! staying correct when threads outnumber shards. Events are merged and
+//! time-sorted only once, when the run is over and [`TraceRecorder::take`]
+//! builds the [`Trace`].
+
+use std::sync::{Arc, OnceLock};
+
+use babelflow_core::sync::{Counter, Mutex};
+use babelflow_core::trace::{SpanKind, TraceEvent, TraceSink};
+use babelflow_core::TaskId;
+
+/// Shard count of [`TraceRecorder::new`]: comfortably above the worker
+/// counts the controllers spawn in tests and examples.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Process-wide thread ticket, cached per thread: the recorder's shard
+/// choice. A plain counter (not a hash of `ThreadId`) so two threads
+/// never collide until every shard is taken.
+fn thread_ticket() -> u64 {
+    static NEXT: OnceLock<Counter> = OnceLock::new();
+    thread_local! {
+        static TICKET: u64 = NEXT.get_or_init(|| Counter::new(0)).next();
+    }
+    TICKET.with(|t| *t)
+}
+
+/// A thread-safe, append-only [`TraceSink`] collecting events in memory.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    shards: Vec<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder with [`DEFAULT_SHARDS`] buffers.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A recorder with `shards` buffers (at least one).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        TraceRecorder { shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+
+    /// A shared recorder ready to pass to
+    /// [`Controller::run_traced`](babelflow_core::Controller::run_traced)
+    /// (which takes `Arc<dyn TraceSink>`).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Events recorded so far (snapshot across shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain every shard into a time-sorted [`Trace`]. The recorder is
+    /// left empty and can record another run.
+    pub fn take(&self) -> Trace {
+        let mut events = Vec::new();
+        for shard in &self.shards {
+            events.append(&mut shard.lock());
+        }
+        Trace::from_events(events)
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn record(&self, event: TraceEvent) {
+        let shard = (thread_ticket() % self.shards.len() as u64) as usize;
+        self.shards[shard].lock().push(event);
+    }
+}
+
+/// A completed run's events, sorted by start time.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Build a trace from raw events (sorts them by start, then end).
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| (e.start_ns, e.end_ns, e.rank, e.thread));
+        Trace { events }
+    }
+
+    /// All events, in start order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind, in start order.
+    pub fn of_kind(&self, kind: SpanKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The one `TaskExec` span of `task`, if recorded (first on
+    /// duplicates; [`check_coverage`](crate::analysis::check_coverage)
+    /// verifies the exactly-once invariant).
+    pub fn task_span(&self, task: TaskId) -> Option<&TraceEvent> {
+        self.of_kind(SpanKind::TaskExec).find(|e| e.task == task)
+    }
+
+    /// Earliest start timestamp (0 for an empty trace).
+    pub fn start_ns(&self) -> u64 {
+        self.events.first().map_or(0, |e| e.start_ns)
+    }
+
+    /// Latest end timestamp (0 for an empty trace).
+    pub fn end_ns(&self) -> u64 {
+        self.events.iter().map(|e| e.end_ns).max().unwrap_or(0)
+    }
+
+    /// Observed makespan: latest end minus earliest start.
+    pub fn makespan_ns(&self) -> u64 {
+        self.end_ns().saturating_sub(self.start_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use babelflow_core::CallbackId;
+
+    fn ev(kind: SpanKind, start: u64, end: u64) -> TraceEvent {
+        TraceEvent::span(kind, start, end, 0, 0)
+    }
+
+    #[test]
+    fn take_merges_and_sorts_across_threads() {
+        let rec = Arc::new(TraceRecorder::with_shards(4));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        rec.record(ev(SpanKind::TaskExec, t * 1000 + i, t * 1000 + i + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.len(), 800);
+        let trace = rec.take();
+        assert_eq!(trace.len(), 800);
+        assert!(trace.events().windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert!(rec.is_empty(), "take drains the recorder");
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let trace = Trace::from_events(vec![
+            ev(SpanKind::QueueWait, 5, 10),
+            ev(SpanKind::TaskExec, 10, 30).with_task(TaskId(3), CallbackId(0)),
+            ev(SpanKind::Callback, 12, 28).with_task(TaskId(3), CallbackId(0)),
+        ]);
+        assert_eq!(trace.start_ns(), 5);
+        assert_eq!(trace.end_ns(), 30);
+        assert_eq!(trace.makespan_ns(), 25);
+        assert_eq!(trace.of_kind(SpanKind::Callback).count(), 1);
+        assert_eq!(trace.task_span(TaskId(3)).unwrap().duration_ns(), 20);
+        assert!(trace.task_span(TaskId(9)).is_none());
+    }
+
+    #[test]
+    fn recorder_reports_enabled() {
+        assert!(TraceRecorder::new().enabled());
+    }
+}

@@ -1,0 +1,261 @@
+//! Predicted-vs-observed: replay a recorded trace through the
+//! discrete-event simulator and diff the two schedules.
+//!
+//! The paper positions the simulator as the instrument for at-scale
+//! studies; this pass closes the loop by checking it against reality.
+//! From a recorded [`Trace`] we build an [`ObservedCostModel`] (each
+//! task's compute cost is its measured callback time, each output's size
+//! is its measured wire bytes) and a placement (each task's observed
+//! rank), run [`simulate`] with a [`RuntimeCosts`] preset for the same
+//! backend, and report how well the predicted schedule matches: per-task
+//! ordering inversions and the makespan ratio. Large disagreement means
+//! either the preset's overheads or the machine model are off for this
+//! workload.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use babelflow_core::trace::HOST_RANK;
+use babelflow_core::{SpanKind, Task, TaskGraph, TaskId};
+use babelflow_sim::des::SimSpan;
+use babelflow_sim::{simulate, MachineConfig, Ns, RuntimeCosts, TaskCostModel};
+
+use crate::recorder::Trace;
+
+/// A [`TaskCostModel`] measured from a recorded trace.
+pub struct ObservedCostModel {
+    compute: HashMap<TaskId, u64>,
+    sends: HashMap<TaskId, Vec<u64>>,
+    recvs: HashMap<TaskId, Vec<u64>>,
+    fallback_ns: u64,
+}
+
+impl ObservedCostModel {
+    /// Extract costs from a trace. `Callback` spans give compute time
+    /// (falling back to the `TaskExec` span, then to the median of all
+    /// callbacks); `MsgSend` spans give output bytes, `MsgRecv` spans
+    /// give external-input bytes.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut compute: HashMap<TaskId, u64> = HashMap::new();
+        let mut sends: HashMap<TaskId, Vec<u64>> = HashMap::new();
+        let mut recvs: HashMap<TaskId, Vec<u64>> = HashMap::new();
+        for e in trace.events() {
+            match e.kind {
+                SpanKind::Callback => {
+                    compute.insert(e.task, e.duration_ns());
+                }
+                SpanKind::TaskExec => {
+                    compute.entry(e.task).or_insert_with(|| e.duration_ns());
+                }
+                SpanKind::MsgSend => sends.entry(e.task).or_default().push(e.bytes),
+                SpanKind::MsgRecv => recvs.entry(e.task).or_default().push(e.bytes),
+                SpanKind::QueueWait => {}
+            }
+        }
+        let mut durations: Vec<u64> = compute.values().copied().collect();
+        durations.sort_unstable();
+        let fallback_ns = durations.get(durations.len() / 2).copied().unwrap_or(1_000).max(1);
+        ObservedCostModel { compute, sends, recvs, fallback_ns }
+    }
+}
+
+impl TaskCostModel for ObservedCostModel {
+    fn compute_ns(&self, task: &Task, _input_bytes: &[u64]) -> Ns {
+        self.compute.get(&task.id).copied().unwrap_or(self.fallback_ns).max(1)
+    }
+
+    fn output_bytes(&self, task: &Task, _input_bytes: &[u64]) -> Vec<u64> {
+        // Observed sends in emission order; slots without an observed
+        // wire message (in-memory moves) default to 0 bytes.
+        let observed = self.sends.get(&task.id);
+        (0..task.fan_out())
+            .map(|slot| observed.and_then(|b| b.get(slot)).copied().unwrap_or(0))
+            .collect()
+    }
+
+    fn external_input_bytes(&self, task: &Task, slot: usize) -> u64 {
+        self.recvs.get(&task.id).and_then(|b| b.get(slot)).copied().unwrap_or(0)
+    }
+}
+
+/// Outcome of [`replay`]: how the simulator's prediction compares with
+/// what the trace recorded.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Tasks compared (present in both schedules).
+    pub tasks: u64,
+    /// Cores the replay machine modeled (max observed rank + 1).
+    pub cores: u32,
+    /// Observed wall-clock (trace makespan).
+    pub observed_makespan_ns: u64,
+    /// Simulated makespan under the observed costs.
+    pub predicted_makespan_ns: u64,
+    /// Task pairs whose relative start order differs between the
+    /// observed and predicted schedules.
+    pub order_inversions: u64,
+    /// Total comparable pairs (`tasks * (tasks - 1) / 2`).
+    pub pairs: u64,
+    /// The predicted schedule, for further inspection.
+    pub predicted: Vec<SimSpan>,
+}
+
+impl ReplayReport {
+    /// Predicted over observed makespan (1.0 = perfect).
+    pub fn makespan_ratio(&self) -> f64 {
+        if self.observed_makespan_ns == 0 {
+            return f64::NAN;
+        }
+        self.predicted_makespan_ns as f64 / self.observed_makespan_ns as f64
+    }
+
+    /// Fraction of task pairs ordered identically (1.0 = identical
+    /// schedules).
+    pub fn ordering_agreement(&self) -> f64 {
+        if self.pairs == 0 {
+            return 1.0;
+        }
+        1.0 - self.order_inversions as f64 / self.pairs as f64
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks on {} cores: observed {:.3} ms, predicted {:.3} ms \
+             (ratio {:.2}), ordering agreement {:.1}%",
+            self.tasks,
+            self.cores,
+            self.observed_makespan_ns as f64 / 1e6,
+            self.predicted_makespan_ns as f64 / 1e6,
+            self.makespan_ratio(),
+            self.ordering_agreement() * 100.0
+        )
+    }
+}
+
+/// Count pairs ordered differently between two rankings via merge sort:
+/// `positions[i]` is item `i`'s rank in the *other* schedule, listed in
+/// this schedule's order; inversions in that array are exactly the
+/// disagreeing pairs.
+fn count_inversions(positions: &[u64]) -> u64 {
+    fn merge_count(v: &mut [u64], lo: usize, hi: usize, scratch: &mut Vec<u64>) -> u64 {
+        if hi - lo <= 1 {
+            return 0;
+        }
+        let mid = (lo + hi) / 2;
+        let mut inv = merge_count(v, lo, mid, scratch) + merge_count(v, mid, hi, scratch);
+        scratch.clear();
+        let (mut i, mut j) = (lo, mid);
+        while i < mid && j < hi {
+            if v[i] <= v[j] {
+                scratch.push(v[i]);
+                i += 1;
+            } else {
+                inv += (mid - i) as u64;
+                scratch.push(v[j]);
+                j += 1;
+            }
+        }
+        scratch.extend_from_slice(&v[i..mid]);
+        scratch.extend_from_slice(&v[j..hi]);
+        v[lo..hi].copy_from_slice(scratch);
+        inv
+    }
+    let mut v = positions.to_vec();
+    let n = v.len();
+    let mut scratch = Vec::with_capacity(n);
+    merge_count(&mut v, 0, n, &mut scratch)
+}
+
+/// Replay a trace through the simulator and diff the schedules.
+///
+/// Placement and compute costs come from the trace; scheduling policy
+/// and runtime overheads come from `rc` (pick the preset matching the
+/// backend that produced the trace). The modeled machine is one
+/// shared-memory node with as many cores as the trace used ranks — which
+/// is what the in-process controllers actually ran on.
+pub fn replay(trace: &Trace, graph: &dyn TaskGraph, rc: &RuntimeCosts) -> ReplayReport {
+    let mut rank_of: HashMap<TaskId, u32> = HashMap::new();
+    for e in trace.of_kind(SpanKind::TaskExec) {
+        let rank = if e.rank == HOST_RANK { 0 } else { e.rank };
+        rank_of.entry(e.task).or_insert(rank);
+    }
+    let cores = rank_of.values().copied().max().unwrap_or(0) + 1;
+    let machine = MachineConfig {
+        nodes: 1,
+        cores_per_node: cores,
+        latency_ns: 1_500,
+        bytes_per_ns: 10.0,
+        nic_bytes_per_ns: 12.0,
+    };
+
+    let cost = ObservedCostModel::from_trace(trace);
+    let placement = |id: TaskId| rank_of.get(&id).copied().unwrap_or(0);
+    let sim = simulate(graph, &placement, &cost, &machine, rc);
+
+    // Observed schedule: tasks by observed execution start.
+    let mut observed: Vec<(u64, TaskId)> = trace
+        .of_kind(SpanKind::TaskExec)
+        .map(|e| (e.start_ns, e.task))
+        .collect();
+    observed.sort_unstable();
+    let observed_pos: HashMap<TaskId, u64> =
+        observed.iter().enumerate().map(|(i, &(_, t))| (t, i as u64)).collect();
+
+    // Predicted schedule order, expressed in observed positions.
+    let mut predicted: Vec<&SimSpan> =
+        sim.timeline.iter().filter(|s| observed_pos.contains_key(&s.task)).collect();
+    predicted.sort_by_key(|s| (s.start_ns, s.task));
+    let positions: Vec<u64> = predicted.iter().map(|s| observed_pos[&s.task]).collect();
+
+    let tasks = positions.len() as u64;
+    let order_inversions = count_inversions(&positions);
+
+    ReplayReport {
+        tasks,
+        cores,
+        observed_makespan_ns: trace.makespan_ns(),
+        predicted_makespan_ns: sim.makespan_ns,
+        order_inversions,
+        pairs: tasks * tasks.saturating_sub(1) / 2,
+        predicted: sim.timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use babelflow_core::{CallbackId, TraceEvent};
+
+    #[test]
+    fn inversion_count_matches_definition() {
+        assert_eq!(count_inversions(&[0, 1, 2, 3]), 0);
+        assert_eq!(count_inversions(&[3, 2, 1, 0]), 6);
+        assert_eq!(count_inversions(&[1, 0, 2]), 1);
+        assert_eq!(count_inversions(&[]), 0);
+        assert_eq!(count_inversions(&[5]), 0);
+    }
+
+    #[test]
+    fn observed_cost_model_prefers_callback_durations() {
+        let trace = Trace::from_events(vec![
+            TraceEvent::span(SpanKind::TaskExec, 0, 100, 0, 0)
+                .with_task(TaskId(0), CallbackId(0)),
+            TraceEvent::span(SpanKind::Callback, 10, 40, 0, 0)
+                .with_task(TaskId(0), CallbackId(0)),
+            TraceEvent::span(SpanKind::TaskExec, 100, 150, 0, 0)
+                .with_task(TaskId(1), CallbackId(0)),
+            TraceEvent::span(SpanKind::MsgSend, 40, 50, 0, 0)
+                .with_task(TaskId(0), CallbackId(0))
+                .with_message(TaskId(1), 2048),
+        ]);
+        let m = ObservedCostModel::from_trace(&trace);
+        let mut t0 = Task::new(TaskId(0), CallbackId(0));
+        t0.outgoing = vec![vec![TaskId(1)]];
+        let t1 = Task::new(TaskId(1), CallbackId(0));
+        assert_eq!(m.compute_ns(&t0, &[]), 30, "callback span wins over task span");
+        assert_eq!(m.compute_ns(&t1, &[]), 50, "task span as fallback");
+        assert_eq!(m.output_bytes(&t0, &[]), vec![2048]);
+    }
+}

@@ -9,6 +9,9 @@
 //! two runtimes.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Pass `--trace out.json` to record the MPI run and write a Chrome
+//! `trace_event` file (open it in `chrome://tracing` or Perfetto).
 
 use std::collections::HashMap;
 
@@ -18,6 +21,7 @@ use babelflow::core::{
 };
 use babelflow::graphs::{reduction, Reduction};
 use babelflow::mpi::MpiController;
+use babelflow::trace::{check_coverage, parse_json, to_chrome_json, TraceRecorder, TraceSummary};
 use babelflow_core::Bytes;
 
 /// Min/max/sum statistics — the object exchanged between tasks. Step 2 of
@@ -84,6 +88,21 @@ impl PayloadData for BlockData {
     }
 }
 
+/// `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("--trace needs an output path");
+                std::process::exit(2);
+            });
+            return Some(path);
+        }
+    }
+    None
+}
+
 fn main() {
     // Step 3: describe the dataflow — a reduction tree over 16 blocks,
     // valence 4 (Listing 1's `Reduction graph(block_decomp, valence)`).
@@ -134,10 +153,17 @@ fn main() {
         stats.count
     );
 
-    // …then on the MPI-like runtime over 4 ranks, unchanged.
+    // …then on the MPI-like runtime over 4 ranks, unchanged. With
+    // `--trace`, the same run also records every task/message span.
     let map = ModuloMap::new(4, graph.size() as u64);
     let mut mpi = MpiController::new();
-    let report = mpi.run(&graph, &map, &registry, initial()).expect("mpi run");
+    let recorder = trace_path().map(|path| (path, TraceRecorder::shared()));
+    let report = match &recorder {
+        Some((_, rec)) => mpi
+            .run_traced(&graph, &map, &registry, initial(), rec.clone())
+            .expect("mpi run"),
+        None => mpi.run(&graph, &map, &registry, initial()).expect("mpi run"),
+    };
     let stats = report.outputs[&graph.root_id()][0].extract::<Stats>().expect("stats");
     println!(
         "mpi (4r) : min={:.4} max={:.4} mean={:.6} over {} samples",
@@ -157,4 +183,18 @@ fn main() {
         report.stats.remote_bytes,
         report.stats.local_messages
     );
+
+    // Export, self-validate, and analyze the recorded trace.
+    if let Some((path, rec)) = recorder {
+        let trace = rec.take();
+        check_coverage(&trace, &graph).expect("every task traced exactly once");
+        let json = to_chrome_json(&trace);
+        parse_json(&json).expect("export is valid trace_event JSON");
+        std::fs::write(&path, &json).expect("write trace file");
+        println!(
+            "trace    : {} events -> {path} (load in chrome://tracing)",
+            trace.len()
+        );
+        print!("{}", TraceSummary::from_trace(&trace));
+    }
 }

@@ -15,5 +15,8 @@ pub use babelflow_register as register;
 pub use babelflow_render as render;
 pub use babelflow_sim as sim;
 pub use babelflow_topology as topology;
+// Explicit (not via the glob below, which would bind `trace` to
+// babelflow_core's schema module): the full recording/analysis crate.
+pub use babelflow_trace as trace;
 
 pub use babelflow_core::*;

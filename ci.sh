@@ -11,3 +11,9 @@ cargo test -q --offline
 cargo test -q --offline -p babelflow-trace
 cargo run --release --offline --example quickstart -- --trace /tmp/babelflow_trace.json
 test -s /tmp/babelflow_trace.json
+
+# Fault matrix: every backend must absorb message drops/duplicates/delays,
+# a killed worker, and an injected callback panic, and still byte-match
+# the fault-free serial golden (exits nonzero on divergence or on a run
+# that reports zero retries — see DESIGN.md §11).
+cargo run --release --offline --example fault_drill

@@ -16,6 +16,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use babelflow_core::fault::{catch_invoke, MAX_TASK_RETRIES};
+use babelflow_core::sync::Counter;
 use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink};
 use babelflow_core::{
     preflight, Callback, Controller, ControllerError, InitialInputs, InputBuffer, Payload,
@@ -66,6 +68,8 @@ struct TaskChare {
     buffer: InputBuffer,
     callback: Callback,
     error: ErrorSink,
+    /// Shared retry counter, surfaced as `RunStats::recovery.retries`.
+    retries: Arc<Counter>,
 }
 
 type ErrorSink = std::sync::Arc<babelflow_core::sync::Mutex<Option<ControllerError>>>;
@@ -92,22 +96,46 @@ impl Chare for TaskChare {
         let buffer = std::mem::replace(&mut self.buffer, placeholder);
         let (task, inputs) = buffer.take();
         let tracing = ctx.tracing();
-        let exec_start = if tracing { now_ns() } else { 0 };
-        let outputs = (self.callback)(inputs, task.id);
-        if tracing {
-            let end = now_ns();
-            let (pe, sink) = (ctx.pe() as u32, ctx.trace_sink());
-            sink.record(
-                TraceEvent::span(SpanKind::Callback, exec_start, end, pe, 0)
-                    .with_task(task.id, task.callback),
-            );
-            // The runtime sees only messages; the exactly-once task span
-            // is the chare's to emit, on the entry method that fired.
-            sink.record(
-                TraceEvent::span(SpanKind::TaskExec, exec_start, end, pe, 0)
-                    .with_task(task.id, task.callback),
-            );
-        }
+        // Chares re-execute a faulted entry method in place: inputs are
+        // retained until the callback succeeds, so recovery needs no
+        // cooperation from the runtime's messaging layer.
+        let mut attempts = 0u32;
+        let outputs = loop {
+            attempts += 1;
+            let exec_start = if tracing { now_ns() } else { 0 };
+            let result = catch_invoke(&self.callback, inputs.clone(), task.id);
+            if tracing {
+                let end = now_ns();
+                let (pe, sink) = (ctx.pe() as u32, ctx.trace_sink());
+                sink.record(
+                    TraceEvent::span(SpanKind::Callback, exec_start, end, pe, 0)
+                        .with_task(task.id, task.callback),
+                );
+                // The runtime sees only messages; the per-attempt task span
+                // is the chare's to emit, on the entry method that fired.
+                sink.record(
+                    TraceEvent::span(SpanKind::TaskExec, exec_start, end, pe, 0)
+                        .with_task(task.id, task.callback),
+                );
+            }
+            match result {
+                Ok(outputs) => break outputs,
+                Err(reason) => {
+                    if attempts > MAX_TASK_RETRIES {
+                        let mut slot = self.error.lock();
+                        if slot.is_none() {
+                            *slot = Some(ControllerError::TaskError {
+                                task: task.id,
+                                attempts,
+                                reason,
+                            });
+                        }
+                        return true;
+                    }
+                    self.retries.next();
+                }
+            }
+        };
         if outputs.len() != task.fan_out() {
             let mut slot = self.error.lock();
             if slot.is_none() {
@@ -149,9 +177,11 @@ impl Controller for CharmController {
 
         let indices: Vec<u64> = graph.ids().iter().map(|id| id.0).collect();
         let error: ErrorSink = Default::default();
+        let retries = Arc::new(Counter::new(0));
 
         let factory = {
             let error = error.clone();
+            let retries = retries.clone();
             move |idx: u64| -> Box<dyn Chare> {
                 let task = graph.task(TaskId(idx)).expect("chare index is a task id");
                 let callback =
@@ -160,6 +190,7 @@ impl Controller for CharmController {
                     buffer: InputBuffer::new(task),
                     callback,
                     error: error.clone(),
+                    retries: retries.clone(),
                 })
             }
         };
@@ -188,6 +219,7 @@ impl Controller for CharmController {
                 report.stats.tasks_executed = stats.retired;
                 report.stats.local_messages = stats.local_messages;
                 report.stats.remote_messages = stats.cross_pe_messages;
+                report.stats.recovery.retries = retries.get();
                 Ok(report)
             }
             Err(pending) => Err(ControllerError::Deadlock {

@@ -111,6 +111,51 @@ mod tests {
     }
 
     #[test]
+    fn injected_panic_is_retried_in_place() {
+        let g = Reduction::new(8, 2);
+        let reg = sum_registry();
+        let inputs: HashMap<TaskId, Vec<Payload>> = g
+            .leaf_ids()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, vec![pay(i as u64 + 7)]))
+            .collect();
+        let serial = run_serial(&g, &reg, inputs.clone()).unwrap();
+        let faults = babelflow_core::FaultPlan {
+            panic_once: vec![g.root_id()],
+            ..babelflow_core::FaultPlan::none()
+        };
+        let poisoned = babelflow_core::inject_panics(&reg, &faults);
+        let map = ModuloMap::new(1, g.size() as u64);
+        let mut c = CharmController::new(2);
+        let report = c.run(&g, &map, &poisoned, inputs).unwrap();
+        assert_eq!(canonical_outputs(&report), canonical_outputs(&serial));
+        assert_eq!(report.stats.recovery.retries, 1);
+    }
+
+    #[test]
+    fn persistent_panic_surfaces_as_task_error() {
+        let g = Reduction::new(4, 2);
+        let mut reg = sum_registry();
+        reg.register(CallbackId(2), |_, _| -> Vec<Payload> {
+            panic!("{}", babelflow_core::PANIC_MARKER)
+        });
+        babelflow_core::quiet_panic_hook();
+        let inputs: HashMap<TaskId, Vec<Payload>> = g
+            .leaf_ids()
+            .into_iter()
+            .map(|id| (id, vec![pay(1)]))
+            .collect();
+        let map = ModuloMap::new(1, g.size() as u64);
+        let mut c = CharmController::new(2).with_timeout(Duration::from_secs(2));
+        let err = c.run(&g, &map, &reg, inputs).unwrap_err();
+        assert!(
+            matches!(err, babelflow_core::ControllerError::TaskError { attempts: 4, .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
     fn missing_input_is_rejected_or_stalls() {
         let g = Reduction::new(4, 2);
         let reg = sum_registry();

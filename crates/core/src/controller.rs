@@ -44,6 +44,8 @@ pub struct RunStats {
     pub remote_bytes: u64,
     /// Messages delivered within a shard (in-memory fast path).
     pub local_messages: u64,
+    /// What fault recovery cost this run (all zero on a clean run).
+    pub recovery: RecoveryStats,
 }
 
 impl RunStats {
@@ -53,6 +55,7 @@ impl RunStats {
         self.remote_messages += other.remote_messages;
         self.remote_bytes += other.remote_bytes;
         self.local_messages += other.local_messages;
+        self.recovery.merge(&other.recovery);
     }
 }
 
@@ -60,8 +63,50 @@ impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} tasks, {} local messages, {} remote messages ({} bytes)",
-            self.tasks_executed, self.local_messages, self.remote_messages, self.remote_bytes
+            "{} tasks, {} local messages, {} remote messages ({} bytes); {}",
+            self.tasks_executed,
+            self.local_messages,
+            self.remote_messages,
+            self.remote_bytes,
+            self.recovery
+        )
+    }
+}
+
+/// Counters for the recovery layer: what surviving injected (or real)
+/// faults cost the run. Surfaced through [`RunStats`] and, span by span,
+/// through the trace sink (every retry is an extra `TaskExec` span).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Task re-executions (after a callback panic or a lost worker).
+    pub retries: u64,
+    /// Messages re-sent because their ack was overdue.
+    pub retransmits: u64,
+    /// Received messages discarded as duplicates of an already-delivered
+    /// sequence number.
+    pub duplicates_suppressed: u64,
+}
+
+impl RecoveryStats {
+    /// Fold another shard's counters into this one.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.retries += other.retries;
+        self.retransmits += other.retransmits;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+    }
+
+    /// Whether no recovery action was ever taken.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
+impl std::fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} retries, {} retransmits, {} duplicates suppressed",
+            self.retries, self.retransmits, self.duplicates_suppressed
         )
     }
 }
@@ -100,6 +145,17 @@ pub enum ControllerError {
         /// Tasks that never executed.
         pending: Vec<TaskId>,
     },
+    /// A task's callback kept panicking: every recovery retry (see
+    /// [`MAX_TASK_RETRIES`](crate::fault::MAX_TASK_RETRIES)) was used up
+    /// and the last attempt still failed.
+    TaskError {
+        /// The failing task.
+        task: TaskId,
+        /// Total execution attempts made.
+        attempts: u32,
+        /// The final attempt's panic message.
+        reason: String,
+    },
     /// A backend-specific failure (e.g. a simulated-network fault injected
     /// by a test).
     Runtime(String),
@@ -121,6 +177,9 @@ impl std::fmt::Display for ControllerError {
             ),
             ControllerError::Deadlock { pending } => {
                 write!(f, "dataflow stalled with {} tasks pending", pending.len())
+            }
+            ControllerError::TaskError { task, attempts, reason } => {
+                write!(f, "task {task} failed after {attempts} attempts: {reason}")
             }
             ControllerError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
@@ -234,12 +293,26 @@ mod tests {
         assert!(preflight(&g, &r, &init).is_ok());
     }
 
+    fn stats(te: u64, rm: u64, rb: u64, lm: u64, rec: (u64, u64, u64)) -> RunStats {
+        RunStats {
+            tasks_executed: te,
+            remote_messages: rm,
+            remote_bytes: rb,
+            local_messages: lm,
+            recovery: RecoveryStats {
+                retries: rec.0,
+                retransmits: rec.1,
+                duplicates_suppressed: rec.2,
+            },
+        }
+    }
+
     #[test]
     fn stats_merge_adds_counters() {
-        let mut a = RunStats { tasks_executed: 1, remote_messages: 2, remote_bytes: 3, local_messages: 4 };
-        let b = RunStats { tasks_executed: 10, remote_messages: 20, remote_bytes: 30, local_messages: 40 };
+        let mut a = stats(1, 2, 3, 4, (5, 6, 7));
+        let b = stats(10, 20, 30, 40, (50, 60, 70));
         a.merge(&b);
-        assert_eq!(a, RunStats { tasks_executed: 11, remote_messages: 22, remote_bytes: 33, local_messages: 44 });
+        assert_eq!(a, stats(11, 22, 33, 44, (55, 66, 77)));
     }
 
     /// Parse a `Display`ed RunStats back into counters.
@@ -249,24 +322,29 @@ mod tests {
             .filter(|s| !s.is_empty())
             .map(|s| s.parse().unwrap())
             .collect();
-        assert_eq!(nums.len(), 4, "display carries exactly the four counters: {text}");
-        RunStats {
-            tasks_executed: nums[0],
-            local_messages: nums[1],
-            remote_messages: nums[2],
-            remote_bytes: nums[3],
-        }
+        assert_eq!(nums.len(), 7, "display carries exactly the seven counters: {text}");
+        stats(nums[0], nums[2], nums[3], nums[1], (nums[4], nums[5], nums[6]))
     }
 
     #[test]
     fn stats_merge_then_display_round_trips() {
-        let mut a = RunStats { tasks_executed: 5, remote_messages: 7, remote_bytes: 1024, local_messages: 11 };
-        let b = RunStats { tasks_executed: 3, remote_messages: 2, remote_bytes: 16, local_messages: 9 };
+        let mut a = stats(5, 7, 1024, 11, (1, 0, 2));
+        let b = stats(3, 2, 16, 9, (0, 4, 1));
         a.merge(&b);
         let shown = a.to_string();
         // Every merged counter appears, in a stable order, and survives a
         // parse back — Display is lossless over the counters.
         assert_eq!(parse_stats(&shown), a);
-        assert_eq!(shown, "8 tasks, 20 local messages, 9 remote messages (1040 bytes)");
+        assert_eq!(
+            shown,
+            "8 tasks, 20 local messages, 9 remote messages (1040 bytes); \
+             1 retries, 4 retransmits, 3 duplicates suppressed"
+        );
+    }
+
+    #[test]
+    fn clean_recovery_is_detectable() {
+        assert!(RecoveryStats::default().is_clean());
+        assert!(!stats(0, 0, 0, 0, (1, 0, 0)).recovery.is_clean());
     }
 }

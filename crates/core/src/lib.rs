@@ -59,6 +59,7 @@ pub mod compose;
 pub mod controller;
 pub mod dot;
 pub mod exec;
+pub mod fault;
 pub mod graph;
 pub mod ids;
 pub mod payload;
@@ -76,9 +77,13 @@ pub use buffer::{Bytes, BytesMut};
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use compose::{ChainGraph, Link, OffsetGraph};
 pub use controller::{
-    preflight, Controller, ControllerError, InitialInputs, Result, RunReport, RunStats,
+    preflight, Controller, ControllerError, InitialInputs, RecoveryStats, Result, RunReport,
+    RunStats,
 };
 pub use exec::InputBuffer;
+pub use fault::{
+    catch_invoke, inject_panics, quiet_panic_hook, FaultPlan, MAX_TASK_RETRIES, PANIC_MARKER,
+};
 pub use dot::{to_dot, to_dot_styled, to_dot_subset};
 pub use graph::{assert_valid, validate, ExplicitGraph, GraphDefect, TaskGraph};
 pub use ids::{CallbackId, ShardId, TaskId};

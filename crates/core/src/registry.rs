@@ -68,6 +68,13 @@ impl Registry {
     pub fn is_empty(&self) -> bool {
         self.callbacks.is_empty()
     }
+
+    /// Iterate over all bindings (unspecified order). Lets decorators —
+    /// e.g. [`inject_panics`](crate::fault::inject_panics) — rebuild a
+    /// registry with every callback wrapped.
+    pub fn iter(&self) -> impl Iterator<Item = (CallbackId, &Callback)> {
+        self.callbacks.iter().map(|(&id, cb)| (id, cb))
+    }
 }
 
 impl std::fmt::Debug for Registry {

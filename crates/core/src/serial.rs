@@ -12,6 +12,7 @@ use std::sync::Arc;
 use crate::controller::{
     preflight, Controller, ControllerError, InitialInputs, Result, RunReport, RunStats,
 };
+use crate::fault::{catch_invoke, MAX_TASK_RETRIES};
 use crate::graph::TaskGraph;
 use crate::ids::TaskId;
 use crate::payload::Payload;
@@ -129,14 +130,43 @@ impl Controller for SerialController {
             let inputs: Vec<Payload> =
                 st.inputs.into_iter().map(|p| p.expect("ready task has all inputs")).collect();
             let cb = registry.get(st.task.callback).expect("preflight checked bindings");
-            let cb_start = if tracing { now_ns() } else { 0 };
-            let outputs = cb(inputs, id);
-            if tracing {
-                sink.record(
-                    TraceEvent::span(SpanKind::Callback, cb_start, now_ns(), 0, 0)
-                        .with_task(id, st.task.callback),
-                );
-            }
+            // Tasks are idempotent, so a panicking callback is caught and
+            // re-executed from the same (retained) inputs instead of
+            // unwinding through the run loop. Failed attempts emit their
+            // own Callback + TaskExec span pair so retries show in traces.
+            let mut attempts = 0u32;
+            let outputs = loop {
+                attempts += 1;
+                let cb_start = if tracing { now_ns() } else { 0 };
+                match catch_invoke(cb, inputs.clone(), id) {
+                    Ok(outs) => {
+                        if tracing {
+                            sink.record(
+                                TraceEvent::span(SpanKind::Callback, cb_start, now_ns(), 0, 0)
+                                    .with_task(id, st.task.callback),
+                            );
+                        }
+                        break outs;
+                    }
+                    Err(reason) => {
+                        if tracing {
+                            let end = now_ns();
+                            sink.record(
+                                TraceEvent::span(SpanKind::Callback, cb_start, end, 0, 0)
+                                    .with_task(id, st.task.callback),
+                            );
+                            sink.record(
+                                TraceEvent::span(SpanKind::TaskExec, cb_start, end, 0, 0)
+                                    .with_task(id, st.task.callback),
+                            );
+                        }
+                        if attempts > MAX_TASK_RETRIES {
+                            return Err(ControllerError::TaskError { task: id, attempts, reason });
+                        }
+                        stats.recovery.retries += 1;
+                    }
+                }
+            };
             stats.tasks_executed += 1;
 
             if outputs.len() != st.task.fan_out() {
@@ -310,6 +340,39 @@ mod tests {
         init.insert(TaskId(0), vec![Payload::wrap(Blob(vec![]))]);
         let err = run_serial(&g, &r, init).unwrap_err();
         assert!(matches!(err, ControllerError::BadOutputArity { expected: 2, got: 0, .. }));
+    }
+
+    #[test]
+    fn injected_panic_is_retried_not_unwound() {
+        let g = diamond();
+        let reg = diamond_registry();
+        let plan =
+            crate::fault::FaultPlan { panic_once: vec![TaskId(1)], ..Default::default() };
+        let poisoned = crate::fault::inject_panics(&reg, &plan);
+        let mut init = HashMap::new();
+        init.insert(TaskId(0), vec![Payload::wrap(Blob(vec![9]))]);
+        let clean = run_serial(&g, &reg, init.clone()).unwrap();
+        let report = run_serial(&g, &poisoned, init).unwrap();
+        assert_eq!(canonical_outputs(&report), canonical_outputs(&clean));
+        assert_eq!(report.stats.recovery.retries, 1);
+        assert_eq!(report.stats.tasks_executed, 4);
+    }
+
+    #[test]
+    fn persistent_panic_surfaces_as_task_error() {
+        let g = diamond();
+        let mut r = diamond_registry();
+        crate::fault::quiet_panic_hook();
+        r.register(CallbackId(1), |_, _| -> Vec<Payload> {
+            panic!("{}: always fails", crate::fault::PANIC_MARKER)
+        });
+        let mut init = HashMap::new();
+        init.insert(TaskId(0), vec![Payload::wrap(Blob(vec![9]))]);
+        let err = run_serial(&g, &r, init).unwrap_err();
+        assert!(
+            matches!(err, ControllerError::TaskError { attempts: 4, .. }),
+            "got {err}"
+        );
     }
 
     #[test]

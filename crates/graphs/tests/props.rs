@@ -4,8 +4,43 @@
 
 use babelflow_core::{validate, TaskGraph};
 use babelflow_graphs::{BinarySwap, Broadcast, KWayMerge, NeighborGraph, Reduction};
-use babelflow_core::proptest_lite as proptest;
 use babelflow_core::proptest_lite::prelude::*;
+
+/// Check edge symmetry: for every internal edge, `task(a).outgoing`
+/// mentions `b` exactly as many times as `task(b).incoming` mentions `a`
+/// — in both directions, counting parallel edges.
+fn edge_symmetry(g: &dyn TaskGraph) -> Result<(), String> {
+    for a in g.ids() {
+        let ta = g.task(a).ok_or_else(|| format!("ids() lists {a} but task() is None"))?;
+        for &b in ta.outgoing.iter().flatten() {
+            if b.is_external() {
+                continue;
+            }
+            let tb = g.task(b).ok_or_else(|| format!("edge {a} -> {b} targets a non-task"))?;
+            let fwd = ta.outgoing.iter().flatten().filter(|&&d| d == b).count();
+            let rev = tb.incoming.iter().filter(|&&s| s == a).count();
+            if fwd != rev {
+                return Err(format!(
+                    "{a} lists {b} as output {fwd} times but {b} lists {a} as input {rev} times"
+                ));
+            }
+        }
+        for &s in &ta.incoming {
+            if s.is_external() {
+                continue;
+            }
+            let ts = g.task(s).ok_or_else(|| format!("edge {s} -> {a} comes from a non-task"))?;
+            let rev = ta.incoming.iter().filter(|&&x| x == s).count();
+            let fwd = ts.outgoing.iter().flatten().filter(|&&d| d == a).count();
+            if fwd != rev {
+                return Err(format!(
+                    "{a} lists {s} as input {rev} times but {s} lists {a} as output {fwd} times"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -73,6 +108,28 @@ proptest! {
             let edge = g.edge(e);
             prop_assert!(g.edges_of(edge.a).contains(&e));
             prop_assert!(g.edges_of(edge.b).contains(&e));
+        }
+    }
+
+    #[test]
+    fn edges_are_symmetric_across_all_families(
+        k in 2u64..4,
+        d in 1u32..4,
+        r in 1u32..5,
+        gx in 2u64..4,
+        gy in 2u64..4,
+        slabs in 1u64..3,
+    ) {
+        let graphs: Vec<Box<dyn TaskGraph>> = vec![
+            Box::new(Reduction::new(k.pow(d), k)),
+            Box::new(Broadcast::new(k.pow(d), k)),
+            Box::new(BinarySwap::new(1 << r)),
+            Box::new(KWayMerge::new(k.pow(d), k)),
+            Box::new(NeighborGraph::new(gx, gy, slabs)),
+        ];
+        for g in &graphs {
+            let res = edge_symmetry(&**g);
+            prop_assert!(res.is_ok(), "{}", res.unwrap_err());
         }
     }
 

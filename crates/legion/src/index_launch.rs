@@ -24,7 +24,7 @@ use babelflow_core::{
     TaskId, TaskMap,
 };
 
-use crate::runtime::LegionRuntime;
+use crate::runtime::{LegionRuntime, WaitOutcome};
 use crate::spmd::{attach_inputs, build_task_launcher, Sinks};
 
 /// Legion-style index-launch controller.
@@ -142,18 +142,27 @@ impl Controller for LegionIndexLaunchController {
         if let Some(err) = sinks.error.lock().take() {
             return Err(err);
         }
-        if !finished {
-            let executed = sinks.executed.lock();
-            let mut pending: Vec<TaskId> =
-                graph.ids().into_iter().filter(|id| !executed.contains(id)).collect();
-            pending.sort();
-            return Err(ControllerError::Deadlock { pending });
+        match finished {
+            WaitOutcome::Completed => {}
+            WaitOutcome::Stalled { .. } => {
+                let executed = sinks.executed.lock();
+                let mut pending: Vec<TaskId> =
+                    graph.ids().into_iter().filter(|id| !executed.contains(id)).collect();
+                pending.sort();
+                return Err(ControllerError::Deadlock { pending });
+            }
+            WaitOutcome::NoWorkers { outstanding } => {
+                return Err(ControllerError::Runtime(format!(
+                    "runtime has zero workers; {outstanding} tasks can never run"
+                )));
+            }
         }
 
         let mut report = RunReport::default();
         report.outputs = std::mem::take(&mut *sinks.outputs.lock());
         report.stats.tasks_executed = sinks.executed.lock().len() as u64;
         report.stats.local_messages = rt.stats().tasks_launched;
+        report.stats.recovery.retries = sinks.retries.get();
         Ok(report)
     }
 

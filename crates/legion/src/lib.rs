@@ -18,7 +18,7 @@ pub use edges::{edge_region, input_regions, output_regions};
 pub use index_launch::{crawl_rounds, LegionIndexLaunchController};
 pub use runtime::{
     LegionRuntime, LegionStats, PhaseBarrier, Precondition, Privilege, RegionKey,
-    RegionRequirement, TaskBody, TaskCtx, TaskLauncher,
+    RegionRequirement, TaskBody, TaskCtx, TaskLauncher, WaitOutcome,
 };
 pub use spmd::LegionSpmdController;
 
@@ -137,6 +137,49 @@ mod tests {
         let il = LegionIndexLaunchController::new(2).run(&g, &map, &reg, inputs).unwrap();
         assert_eq!(canonical_outputs(&spmd), canonical_outputs(&serial));
         assert_eq!(canonical_outputs(&il), canonical_outputs(&serial));
+    }
+
+    #[test]
+    fn injected_panic_is_retried_on_both_controllers() {
+        let g = Reduction::new(8, 2);
+        let reg = sum_registry();
+        let serial = run_serial(&g, &reg, reduction_inputs(&g)).unwrap();
+        let faults = babelflow_core::FaultPlan {
+            panic_once: vec![g.root_id()],
+            ..babelflow_core::FaultPlan::none()
+        };
+        let map = ModuloMap::new(2, g.size() as u64);
+
+        let poisoned = babelflow_core::inject_panics(&reg, &faults);
+        let spmd =
+            LegionSpmdController::new(2).run(&g, &map, &poisoned, reduction_inputs(&g)).unwrap();
+        assert_eq!(canonical_outputs(&spmd), canonical_outputs(&serial));
+        assert_eq!(spmd.stats.recovery.retries, 1);
+
+        let poisoned = babelflow_core::inject_panics(&reg, &faults);
+        let il = LegionIndexLaunchController::new(2)
+            .run(&g, &map, &poisoned, reduction_inputs(&g))
+            .unwrap();
+        assert_eq!(canonical_outputs(&il), canonical_outputs(&serial));
+        assert_eq!(il.stats.recovery.retries, 1);
+    }
+
+    #[test]
+    fn persistent_panic_surfaces_as_task_error() {
+        let g = Reduction::new(4, 2);
+        let mut reg = sum_registry();
+        reg.register(CallbackId(2), |_, _| -> Vec<Payload> {
+            panic!("{}", babelflow_core::PANIC_MARKER)
+        });
+        babelflow_core::quiet_panic_hook();
+        let map = ModuloMap::new(2, g.size() as u64);
+        let inputs: HashMap<TaskId, Vec<Payload>> =
+            g.leaf_ids().into_iter().map(|id| (id, vec![pay(1)])).collect();
+        let err = LegionSpmdController::new(2).run(&g, &map, &reg, inputs).unwrap_err();
+        assert!(
+            matches!(err, babelflow_core::ControllerError::TaskError { attempts: 4, .. }),
+            "got {err}"
+        );
     }
 
     #[test]

@@ -146,6 +146,37 @@ impl TaskLauncher {
     }
 }
 
+/// How a [`LegionRuntime::wait_all`] ended.
+///
+/// Distinguishes a run that drained from one that *stalled* (no progress
+/// for the timeout, with named pending tasks) and from one that could
+/// never progress at all because the runtime has *zero workers* — the
+/// latter two need different fixes (missing dependency vs. missing
+/// resources), so they are different variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// Every outstanding task completed.
+    Completed,
+    /// No task completed within the timeout; `pending` names the tasks
+    /// still waiting on preconditions.
+    Stalled {
+        /// Debug names of tasks whose preconditions never triggered.
+        pending: Vec<&'static str>,
+    },
+    /// The runtime has no workers, so outstanding tasks can never run.
+    NoWorkers {
+        /// Tasks launched but unrunnable.
+        outstanding: usize,
+    },
+}
+
+impl WaitOutcome {
+    /// Whether the run drained completely.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, WaitOutcome::Completed)
+    }
+}
+
 /// Runtime counters; the source of Fig. 3's staging/compute split.
 #[derive(Debug, Default, Clone)]
 pub struct LegionStats {
@@ -370,8 +401,12 @@ impl LegionRuntime {
 
     /// A runtime recording queue-wait spans into `sink` (task bodies reach
     /// the same sink through [`TaskCtx::trace_sink`]).
+    ///
+    /// Zero workers is allowed: launches are accepted but nothing runs,
+    /// and [`wait_all`](Self::wait_all) reports
+    /// [`WaitOutcome::NoWorkers`] instead of spinning until the stall
+    /// timeout.
     pub fn with_sink(workers: usize, sink: Arc<dyn TraceSink>) -> Self {
-        assert!(workers > 0, "need at least one worker");
         let tracing = sink.enabled();
         let inner = Arc::new(Inner {
             state: Mutex::new(SchedState {
@@ -456,9 +491,21 @@ impl LegionRuntime {
     }
 
     /// Run worker threads until all outstanding tasks complete or `timeout`
-    /// passes with no progress. Returns `false` on stall.
-    pub fn wait_all(&self, timeout: Duration) -> bool {
+    /// passes with no progress. The outcome distinguishes a stall (some
+    /// precondition never triggered) from a runtime that cannot make
+    /// progress at all because it has no workers.
+    pub fn wait_all(&self, timeout: Duration) -> WaitOutcome {
         let inner = &self.inner;
+        if self.workers == 0 {
+            // Nothing will ever run; report immediately rather than
+            // burning the stall timeout on an impossibility.
+            let outstanding = inner.state.lock().outstanding;
+            return if outstanding == 0 {
+                WaitOutcome::Completed
+            } else {
+                WaitOutcome::NoWorkers { outstanding }
+            };
+        }
         std::thread::scope(|s| {
             for w in 0..self.workers as u32 {
                 s.spawn(move || worker_main(inner, w));
@@ -487,7 +534,11 @@ impl LegionRuntime {
             st.shutdown = true;
             drop(st);
             inner.cv.notify_all();
-            done
+            if done {
+                WaitOutcome::Completed
+            } else {
+                WaitOutcome::Stalled { pending: self.stalled_tasks() }
+            }
         })
     }
 
@@ -598,7 +649,7 @@ mod tests {
             )
             .add_requirement(RegionRequirement::write(r)),
         );
-        assert!(rt.wait_all(Duration::from_secs(5)));
+        assert!(rt.wait_all(Duration::from_secs(5)).is_completed());
         assert_eq!(*out.lock(), vec![42]);
     }
 
@@ -618,7 +669,7 @@ mod tests {
             )
             .add_requirement(RegionRequirement::read(r)),
         );
-        assert!(rt.wait_all(Duration::from_secs(5)));
+        assert!(rt.wait_all(Duration::from_secs(5)).is_completed());
         assert_eq!(*got.lock(), 7);
     }
 
@@ -637,7 +688,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         // Second arrival releases the gated task.
         rt.launch(TaskLauncher::new("arrive2", Box::new(move |ctx| ctx.arrive(pb.id))));
-        assert!(rt.wait_all(Duration::from_secs(5)));
+        assert!(rt.wait_all(Duration::from_secs(5)).is_completed());
         assert!(*fired.lock());
     }
 
@@ -655,7 +706,7 @@ mod tests {
                 }),
             )
         });
-        assert!(rt.wait_all(Duration::from_secs(5)));
+        assert!(rt.wait_all(Duration::from_secs(5)).is_completed());
         assert_eq!(sum.load(Ordering::Relaxed), (0..32).sum::<u64>());
         let stats = rt.stats();
         assert_eq!(stats.tasks_launched, 32);
@@ -709,8 +760,25 @@ mod tests {
             TaskLauncher::new("starved", Box::new(|_| {}))
                 .add_requirement(RegionRequirement::read(r)),
         );
-        assert!(!rt.wait_all(Duration::from_millis(100)));
+        let outcome = rt.wait_all(Duration::from_millis(100));
+        assert_eq!(outcome, WaitOutcome::Stalled { pending: vec!["starved"] });
         assert_eq!(rt.stalled_tasks(), vec!["starved"]);
+    }
+
+    #[test]
+    fn zero_workers_is_reported_not_stalled() {
+        let rt = LegionRuntime::new(0);
+        rt.launch(TaskLauncher::new("unrunnable", Box::new(|_| {})));
+        rt.launch(TaskLauncher::new("also-unrunnable", Box::new(|_| {})));
+        // Reported immediately (no 100 ms stall wait) and distinctly.
+        let outcome = rt.wait_all(Duration::from_secs(100));
+        assert_eq!(outcome, WaitOutcome::NoWorkers { outstanding: 2 });
+    }
+
+    #[test]
+    fn zero_workers_with_nothing_launched_completes() {
+        let rt = LegionRuntime::new(0);
+        assert!(rt.wait_all(Duration::from_secs(100)).is_completed());
     }
 
     #[test]
@@ -732,7 +800,7 @@ mod tests {
                 }
             }),
         ));
-        assert!(rt.wait_all(Duration::from_secs(5)));
+        assert!(rt.wait_all(Duration::from_secs(5)).is_completed());
         assert_eq!(hits.load(Ordering::Relaxed), 4);
         // src marker to silence unused import
         let _ = TaskId::EXTERNAL;

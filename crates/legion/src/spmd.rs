@@ -21,15 +21,16 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
+use babelflow_core::fault::{catch_invoke, MAX_TASK_RETRIES};
+use babelflow_core::sync::{Counter, Mutex};
 use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink};
 use babelflow_core::{
     preflight, Callback, Controller, ControllerError, InitialInputs, Payload, Registry, Result,
     RunReport, ShardId, Task, TaskGraph, TaskId, TaskMap,
 };
-use babelflow_core::sync::Mutex;
 
 use crate::edges::{input_regions, output_regions};
-use crate::runtime::{LegionRuntime, RegionKey, RegionRequirement, TaskLauncher};
+use crate::runtime::{LegionRuntime, RegionKey, RegionRequirement, TaskLauncher, WaitOutcome};
 
 /// Legion-style SPMD controller (must-epoch shards + phase barriers).
 #[derive(Clone, Debug)]
@@ -59,6 +60,9 @@ pub(crate) struct Sinks {
     pub(crate) outputs: Mutex<BTreeMap<TaskId, Vec<Payload>>>,
     pub(crate) executed: Mutex<std::collections::HashSet<TaskId>>,
     pub(crate) error: Mutex<Option<ControllerError>>,
+    /// Callback re-executions after captured panics, surfaced as
+    /// `RunStats::recovery.retries`.
+    pub(crate) retries: Counter,
 }
 
 /// Attach every external input payload as a pre-mapped physical region.
@@ -111,14 +115,45 @@ pub(crate) fn build_task_launcher(
             let tracing = ctx.tracing();
             let exec_start = if tracing { now_ns() } else { 0 };
             let inputs: Vec<Payload> = in_regions.iter().map(|&r| ctx.read_region(r)).collect();
-            let cb_start = if tracing { now_ns() } else { 0 };
-            let outputs = callback(inputs, task.id);
-            if tracing {
-                ctx.trace_sink().record(
-                    TraceEvent::span(SpanKind::Callback, cb_start, now_ns(), rank, 0)
-                        .with_task(task.id, task.callback),
-                );
-            }
+            // Physical regions are immutable once written, so a faulted
+            // callback re-reads the same inputs: re-execution in place.
+            let mut attempts = 0u32;
+            let outputs = loop {
+                attempts += 1;
+                let cb_start = if tracing { now_ns() } else { 0 };
+                let result = catch_invoke(&callback, inputs.clone(), task.id);
+                if tracing {
+                    ctx.trace_sink().record(
+                        TraceEvent::span(SpanKind::Callback, cb_start, now_ns(), rank, 0)
+                            .with_task(task.id, task.callback),
+                    );
+                }
+                match result {
+                    Ok(outputs) => break outputs,
+                    Err(reason) => {
+                        if tracing {
+                            // The failed attempt still occupied the worker:
+                            // record it as its own task-execution span.
+                            ctx.trace_sink().record(
+                                TraceEvent::span(SpanKind::TaskExec, cb_start, now_ns(), rank, 0)
+                                    .with_task(task.id, task.callback),
+                            );
+                        }
+                        if attempts > MAX_TASK_RETRIES {
+                            let mut err = sinks.error.lock();
+                            if err.is_none() {
+                                *err = Some(ControllerError::TaskError {
+                                    task: task.id,
+                                    attempts,
+                                    reason,
+                                });
+                            }
+                            return;
+                        }
+                        sinks.retries.next();
+                    }
+                }
+            };
             if outputs.len() != task.fan_out() {
                 let mut err = sinks.error.lock();
                 if err.is_none() {
@@ -246,18 +281,27 @@ impl Controller for LegionSpmdController {
         if let Some(err) = sinks.error.lock().take() {
             return Err(err);
         }
-        if !finished {
-            let executed = sinks.executed.lock();
-            let mut pending: Vec<TaskId> =
-                graph.ids().into_iter().filter(|id| !executed.contains(id)).collect();
-            pending.sort();
-            return Err(ControllerError::Deadlock { pending });
+        match finished {
+            WaitOutcome::Completed => {}
+            WaitOutcome::Stalled { .. } => {
+                let executed = sinks.executed.lock();
+                let mut pending: Vec<TaskId> =
+                    graph.ids().into_iter().filter(|id| !executed.contains(id)).collect();
+                pending.sort();
+                return Err(ControllerError::Deadlock { pending });
+            }
+            WaitOutcome::NoWorkers { outstanding } => {
+                return Err(ControllerError::Runtime(format!(
+                    "runtime has zero workers; {outstanding} tasks can never run"
+                )));
+            }
         }
 
         let mut report = RunReport::default();
         report.outputs = std::mem::take(&mut *sinks.outputs.lock());
         report.stats.tasks_executed = sinks.executed.lock().len() as u64;
         report.stats.local_messages = rt.stats().tasks_launched;
+        report.stats.recovery.retries = sinks.retries.get();
         Ok(report)
     }
 

@@ -34,7 +34,7 @@ fn deep_recursive_spawn_chain() {
         "root",
         Box::new(move |ctx| spawn_chain(ctx, 200, c)),
     ));
-    assert!(rt.wait_all(Duration::from_secs(10)));
+    assert!(rt.wait_all(Duration::from_secs(10)).is_completed());
     assert_eq!(count.load(Ordering::Relaxed), 201);
     assert_eq!(rt.stats().tasks_launched, 201);
 }
@@ -56,7 +56,7 @@ fn wide_barrier_releases_many_waiters() {
     for _ in 0..16 {
         rt.launch(TaskLauncher::new("arriver", Box::new(move |ctx| ctx.arrive(pb.id))));
     }
-    assert!(rt.wait_all(Duration::from_secs(10)));
+    assert!(rt.wait_all(Duration::from_secs(10)).is_completed());
     assert_eq!(released.load(Ordering::Relaxed), 8);
 }
 
@@ -80,7 +80,7 @@ fn attach_after_launch_still_releases() {
         .add_requirement(RegionRequirement::read(r)),
     );
     rt.attach_region(r, Payload::wrap(Blob(vec![42])));
-    assert!(rt.wait_all(Duration::from_secs(5)));
+    assert!(rt.wait_all(Duration::from_secs(5)).is_completed());
     assert_eq!(got.load(Ordering::Relaxed), 42);
     let _ = Blob(vec![]).encode();
 }
@@ -131,7 +131,7 @@ fn diamond_of_region_dependences_executes_once_each() {
         }),
     ));
 
-    assert!(rt.wait_all(Duration::from_secs(10)));
+    assert!(rt.wait_all(Duration::from_secs(10)).is_completed());
     let order = order.lock();
     assert_eq!(order.len(), 4);
     assert_eq!(order[0], "a");

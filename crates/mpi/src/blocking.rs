@@ -16,8 +16,10 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use babelflow_core::channel::RecvTimeoutError;
+use babelflow_core::fault::{catch_invoke, MAX_TASK_RETRIES};
 use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink, CONTROL_THREAD};
 use babelflow_core::{
     preflight, Controller, ControllerError, InitialInputs, InputBuffer, Payload, Registry, Result,
@@ -26,6 +28,7 @@ use babelflow_core::{
 
 use crate::comm::{FaultPlan, RankComm, World};
 use crate::controller::DEFAULT_TIMEOUT;
+use crate::reliable::ReliableEndpoint;
 use crate::wire::{DataflowMsg, TAG_DATAFLOW};
 
 /// Blocking, statically ordered MPI-style controller (the "Original MPI"
@@ -166,9 +169,34 @@ fn blocking_rank_main(
     timeout: Duration,
     sink: Arc<dyn TraceSink>,
 ) -> Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)> {
+    let mut rel = ReliableEndpoint::new(ep);
+    match blocking_rank_inner(&mut rel, graph, map, registry, initial, schedule, timeout, sink) {
+        Ok((outputs, mut stats)) => {
+            rel.flush(timeout);
+            stats.recovery.merge(&rel.stats);
+            Ok((outputs, stats))
+        }
+        Err(e) => {
+            rel.mark_finished();
+            Err(e)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn blocking_rank_inner(
+    rel: &mut ReliableEndpoint,
+    graph: &dyn TaskGraph,
+    map: &dyn TaskMap,
+    registry: &Registry,
+    initial: InitialInputs,
+    schedule: &HashMap<TaskId, usize>,
+    timeout: Duration,
+    sink: Arc<dyn TraceSink>,
+) -> Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)> {
     let tracing = sink.enabled();
-    let my_rank = ep.rank() as u32;
-    let my_shard = ShardId(ep.rank() as u32);
+    let my_rank = rel.rank() as u32;
+    let my_shard = ShardId(rel.rank() as u32);
     let mut local = graph.local_graph(my_shard, map);
     // The static schedule: strictly follow the global topological order.
     local.sort_by_key(|t| schedule[&t.id]);
@@ -195,33 +223,60 @@ fn blocking_rank_main(
         // ignoring whether later tasks could already run (the baseline's
         // weakness under load imbalance).
         let wait_start = if tracing { now_ns() } else { 0 };
+        let tick = Duration::from_millis(10).min(timeout);
+        let mut last_progress = Instant::now();
         while !buffers[&task.id].ready() {
-            let Some(env) = ep.recv_timeout(timeout) else {
-                let mut pending: Vec<TaskId> =
-                    buffers.iter().filter(|(_, b)| !b.ready()).map(|(&id, _)| id).collect();
-                pending.sort();
-                return Err(ControllerError::Deadlock { pending });
-            };
-            let recv_start = if tracing { now_ns() } else { 0 };
-            let wire_bytes = env.body.len() as u64;
-            let msg = DataflowMsg::decode(&env.body).ok_or_else(|| {
-                ControllerError::Runtime(format!("malformed message from rank {}", env.src))
-            })?;
-            let buf = buffers.get_mut(&msg.dst_task).ok_or_else(|| {
-                ControllerError::Runtime(format!("message for unknown task {}", msg.dst_task))
-            })?;
-            if !buf.deliver(msg.src_task, Payload::Buffer(msg.payload)) {
-                return Err(ControllerError::Runtime(format!(
-                    "unexpected delivery {} -> {}",
-                    msg.src_task, msg.dst_task
-                )));
-            }
-            if tracing {
-                sink.record(
-                    TraceEvent::span(SpanKind::MsgRecv, recv_start, now_ns(), my_rank, CONTROL_THREAD)
+            // Drain whatever the reliable layer has restored to order.
+            let mut progressed = false;
+            while let Some((src_rank, _tag, body)) = rel.pop_ready() {
+                let recv_start = if tracing { now_ns() } else { 0 };
+                let wire_bytes = body.len() as u64;
+                let msg = DataflowMsg::decode(&body).ok_or_else(|| {
+                    ControllerError::Runtime(format!("malformed message from rank {src_rank}"))
+                })?;
+                let buf = buffers.get_mut(&msg.dst_task).ok_or_else(|| {
+                    ControllerError::Runtime(format!("message for unknown task {}", msg.dst_task))
+                })?;
+                if !buf.deliver(msg.src_task, Payload::Buffer(msg.payload)) {
+                    return Err(ControllerError::Runtime(format!(
+                        "unexpected delivery {} -> {}",
+                        msg.src_task, msg.dst_task
+                    )));
+                }
+                if tracing {
+                    sink.record(
+                        TraceEvent::span(
+                            SpanKind::MsgRecv,
+                            recv_start,
+                            now_ns(),
+                            my_rank,
+                            CONTROL_THREAD,
+                        )
                         .with_task(msg.dst_task, buf.task().callback)
                         .with_message(msg.src_task, wire_bytes),
-                );
+                    );
+                }
+                progressed = true;
+            }
+            if progressed {
+                last_progress = Instant::now();
+                continue;
+            }
+            let arrival = rel.inbox().recv_timeout(tick);
+            match arrival {
+                Ok(env) => rel.handle(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    rel.tick();
+                    if last_progress.elapsed() >= timeout {
+                        let mut pending: Vec<TaskId> =
+                            buffers.iter().filter(|(_, b)| !b.ready()).map(|(&id, _)| id).collect();
+                        pending.sort();
+                        return Err(ControllerError::Deadlock { pending });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ControllerError::Runtime("world torn down".into()));
+                }
             }
         }
 
@@ -236,18 +291,38 @@ fn blocking_rank_main(
             );
         }
         let cb = registry.get(task.callback).expect("preflight checked bindings");
-        let outs = cb(inputs, task.id);
-        if tracing {
-            let end = now_ns();
-            sink.record(
-                TraceEvent::span(SpanKind::Callback, exec_start, end, my_rank, 0)
-                    .with_task(task.id, task.callback),
-            );
-            sink.record(
-                TraceEvent::span(SpanKind::TaskExec, exec_start, end, my_rank, 0)
-                    .with_task(task.id, task.callback),
-            );
-        }
+        // Idempotent retry: a panicking callback is re-executed from the
+        // same inputs; each attempt gets its own Callback + TaskExec span.
+        let mut attempts = 0u32;
+        let outs = loop {
+            attempts += 1;
+            let attempt_start = if tracing { now_ns() } else { 0 };
+            let attempt = catch_invoke(cb, inputs.clone(), task.id);
+            if tracing {
+                let end = now_ns();
+                sink.record(
+                    TraceEvent::span(SpanKind::Callback, attempt_start, end, my_rank, 0)
+                        .with_task(task.id, task.callback),
+                );
+                sink.record(
+                    TraceEvent::span(SpanKind::TaskExec, attempt_start, end, my_rank, 0)
+                        .with_task(task.id, task.callback),
+                );
+            }
+            match attempt {
+                Ok(outs) => break outs,
+                Err(reason) => {
+                    if attempts > MAX_TASK_RETRIES {
+                        return Err(ControllerError::TaskError {
+                            task: task.id,
+                            attempts,
+                            reason,
+                        });
+                    }
+                    stats.recovery.retries += 1;
+                }
+            }
+        };
         stats.tasks_executed += 1;
         if outs.len() != task.fan_out() {
             return Err(ControllerError::BadOutputArity {
@@ -289,7 +364,7 @@ fn blocking_rank_main(
                     stats.remote_messages += 1;
                     stats.remote_bytes += body.len() as u64;
                     let wire_bytes = body.len() as u64;
-                    ep.isend(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
+                    rel.send(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
                     if tracing {
                         sink.record(
                             TraceEvent::span(SpanKind::MsgSend, send_start, now_ns(), my_rank, 0)

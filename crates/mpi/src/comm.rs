@@ -12,11 +12,14 @@
 //! suite uses to verify that controllers detect stalled dataflows instead
 //! of hanging.
 
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Duration;
 
 use babelflow_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use babelflow_core::sync::Counter;
+
+pub use babelflow_core::fault::FaultPlan;
 
 /// A message in flight: source rank, tag, and opaque bytes.
 #[derive(Debug, Clone)]
@@ -30,29 +33,6 @@ pub struct Envelope {
     pub body: babelflow_core::Bytes,
 }
 
-/// Deterministic fault injection for tests: which (src, dst, seq) sends to
-/// drop, which to duplicate, and which to delay. `seq` counts messages on
-/// that directed pair, starting at 0.
-#[derive(Debug, Default, Clone)]
-pub struct FaultPlan {
-    /// Messages to silently drop.
-    pub drop: Vec<(usize, usize, u64)>,
-    /// Messages to deliver twice.
-    pub duplicate: Vec<(usize, usize, u64)>,
-    /// Messages to hold back for the given duration before delivery.
-    /// Later sends on the same pair overtake the held message, so this is
-    /// how tests exercise reordering (MPI's per-pair FIFO guarantee is
-    /// deliberately violated for the matched message only).
-    pub delay: Vec<(usize, usize, u64, Duration)>,
-}
-
-impl FaultPlan {
-    /// A plan that injects no faults.
-    pub fn none() -> Self {
-        Self::default()
-    }
-}
-
 struct Shared {
     inboxes: Vec<Sender<Envelope>>,
     faults: FaultPlan,
@@ -62,6 +42,10 @@ struct Shared {
     seq: Vec<Counter>,
     /// Total messages accepted for delivery (post-fault).
     delivered: Counter,
+    /// Ranks that declared themselves finished (see
+    /// [`RankComm::mark_finished`]); the shutdown barrier of the reliable
+    /// protocol layered on top of this transport.
+    finished: Counter,
 }
 
 /// A communication world of `n` ranks.
@@ -96,11 +80,20 @@ impl World {
             faults,
             seq: (0..n * n).map(|_| Counter::new(0)).collect(),
             delivered: Counter::new(0),
+            finished: Counter::new(0),
         });
         let endpoints = receivers
             .into_iter()
             .enumerate()
-            .map(|(rank, rx)| Some(RankComm { rank, n, rx, shared: shared.clone() }))
+            .map(|(rank, rx)| {
+                Some(RankComm {
+                    rank,
+                    n,
+                    rx,
+                    shared: shared.clone(),
+                    finished_flag: Cell::new(false),
+                })
+            })
             .collect();
         World { shared, endpoints }
     }
@@ -135,6 +128,7 @@ pub struct RankComm {
     n: usize,
     rx: Receiver<Envelope>,
     shared: Arc<Shared>,
+    finished_flag: Cell<bool>,
 }
 
 impl RankComm {
@@ -176,8 +170,10 @@ impl RankComm {
             let hold = *hold;
             std::thread::spawn(move || {
                 std::thread::sleep(hold);
-                let _ = shared.inboxes[dst].send(env);
+                // Count before the send lands so a receiver that observes
+                // the message also observes the counter.
                 shared.delivered.next();
+                let _ = shared.inboxes[dst].send(env);
             });
             return;
         }
@@ -211,6 +207,23 @@ impl RankComm {
     /// The raw inbox receiver, for use in [`babelflow_core::channel::select2`] loops.
     pub fn inbox(&self) -> &Receiver<Envelope> {
         &self.rx
+    }
+
+    /// Declare this rank finished: it has no unacknowledged sends left.
+    /// Idempotent. Part of the reliable layer's shutdown barrier — a rank
+    /// keeps servicing (re-acking) incoming traffic until
+    /// [`all_finished`](Self::all_finished), so peers never retransmit
+    /// into a torn-down endpoint.
+    pub fn mark_finished(&self) {
+        if !self.finished_flag.replace(true) {
+            self.shared.finished.next();
+        }
+    }
+
+    /// Whether every rank in the world has called
+    /// [`mark_finished`](Self::mark_finished).
+    pub fn all_finished(&self) -> bool {
+        self.shared.finished.get() >= self.n as u64
     }
 }
 
@@ -309,6 +322,19 @@ mod tests {
         let second = b.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(second.body.as_ref(), b"held");
         assert_eq!(w.delivered(), 2);
+    }
+
+    #[test]
+    fn finished_barrier_counts_each_rank_once() {
+        let mut w = World::new(2);
+        let a = w.endpoint(0);
+        let b = w.endpoint(1);
+        assert!(!a.all_finished());
+        a.mark_finished();
+        a.mark_finished(); // idempotent
+        assert!(!b.all_finished());
+        b.mark_finished();
+        assert!(a.all_finished() && b.all_finished());
     }
 
     #[test]

@@ -17,22 +17,35 @@
 //! * each task owns its inputs and relinquishes its outputs, so payloads
 //!   are never mutated in place (enforced by `Payload`'s shared-`Arc`
 //!   design).
+//!
+//! Recovery (DESIGN.md §11): all inter-rank traffic flows through the
+//! [`ReliableEndpoint`] ack/retransmit layer, so transport drop/duplicate/
+//! reorder faults converge to exactly-once in-order delivery. Execution
+//! faults are survived by exploiting task idempotence: a dispatched task's
+//! inputs are *retained* until its completion is observed, a panicking
+//! callback is retried in place by the worker, and a task whose completion
+//! is overdue (its worker died) is re-fired from the retained inputs onto
+//! another pool thread. Stall detection is decoupled from the retransmit
+//! tick: the run only deadlocks when nothing has progressed for the full
+//! `timeout`.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use babelflow_core::channel::{select2, unbounded, Select2, Sender};
+use babelflow_core::fault::{catch_invoke, MAX_TASK_RETRIES};
+use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink, CONTROL_THREAD};
 use babelflow_core::{
     preflight, Controller, ControllerError, InitialInputs, InputBuffer, Payload, Registry, Result,
     RunReport, RunStats, ShardId, Task, TaskGraph, TaskId, TaskMap,
 };
-use babelflow_core::channel::{select2, unbounded, Select2, Sender};
-use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink, CONTROL_THREAD};
 
 use crate::comm::{FaultPlan, RankComm, World};
+use crate::reliable::ReliableEndpoint;
 use crate::wire::{DataflowMsg, TAG_DATAFLOW};
 
-/// Default per-rank receive timeout before declaring the dataflow stalled.
+/// Default per-rank stall timeout before declaring the dataflow dead.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Asynchronous MPI-style controller.
@@ -41,9 +54,11 @@ pub struct MpiController {
     /// Worker threads per rank executing ready tasks ("spawns a new thread
     /// that is executed in the background" — bounded here by a pool).
     pub workers_per_rank: usize,
-    /// Stall-detection timeout per rank.
+    /// Stall-detection timeout per rank: how long a rank tolerates zero
+    /// progress (no completion, no delivery) before giving up.
     pub timeout: Duration,
-    /// Fault injection for tests.
+    /// Fault injection for tests: transport faults feed the [`World`],
+    /// `kill_worker` entries kill this controller's pool threads.
     pub faults: FaultPlan,
 }
 
@@ -72,7 +87,8 @@ impl MpiController {
         self
     }
 
-    /// Inject transport faults (tests only).
+    /// Inject faults (tests only). A `kill_worker` entry must leave the
+    /// rank at least one live pool thread (see `workers_per_rank`).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
@@ -105,6 +121,7 @@ impl Controller for MpiController {
 
         let timeout = self.timeout;
         let workers = self.workers_per_rank;
+        let faults = &self.faults;
 
         let outcomes: Vec<RankOutcome> = std::thread::scope(|s| {
             let handles: Vec<_> = endpoints
@@ -113,7 +130,7 @@ impl Controller for MpiController {
                 .map(|(ep, inputs)| {
                     let sink = sink.clone();
                     s.spawn(move || {
-                        rank_main(ep, graph, map, registry, inputs, workers, timeout, sink)
+                        rank_main(ep, graph, map, registry, inputs, workers, timeout, faults, sink)
                     })
                 })
                 .collect();
@@ -147,20 +164,41 @@ struct WorkItem {
 struct DoneItem {
     task: Task,
     outputs: std::result::Result<Vec<Payload>, ControllerError>,
+    /// In-place panic retries the worker performed.
+    retries: u64,
 }
 
+/// A dispatched-but-not-completed task with its inputs retained so it can
+/// be re-fired if its worker dies (idempotent re-execution).
+struct Inflight {
+    task: Task,
+    inputs: Vec<Payload>,
+    dispatched_at: Instant,
+    refires: u32,
+}
 
-/// Move ready buffers to the worker pool.
+/// Move ready buffers to the worker pool, retaining each task's inputs in
+/// `inflight` until its completion is observed.
 fn dispatch_ready(
     buffers: &mut HashMap<TaskId, InputBuffer>,
     ready: Vec<TaskId>,
     work_tx: &Sender<WorkItem>,
+    inflight: &mut HashMap<TaskId, Inflight>,
     tracing: bool,
 ) {
     let ready_ns = if tracing { now_ns() } else { 0 };
     for id in ready {
         if let Some(buf) = buffers.remove(&id) {
             let (task, inputs) = buf.take();
+            inflight.insert(
+                id,
+                Inflight {
+                    task: task.clone(),
+                    inputs: inputs.clone(),
+                    dispatched_at: Instant::now(),
+                    refires: 0,
+                },
+            );
             work_tx.send(WorkItem { task, inputs, ready_ns }).expect("workers alive");
         }
     }
@@ -175,9 +213,42 @@ pub(crate) fn rank_main(
     initial: InitialInputs,
     workers: usize,
     timeout: Duration,
+    faults: &FaultPlan,
     sink: Arc<dyn TraceSink>,
 ) -> RankOutcome {
-    let my_shard = ShardId(ep.rank() as u32);
+    let mut rel = ReliableEndpoint::new(ep);
+    match rank_main_inner(&mut rel, graph, map, registry, initial, workers, timeout, faults, sink)
+    {
+        Ok((outputs, mut stats)) => {
+            // Drain: wait for our acks, then linger re-acking peers until
+            // the whole world is finished. A `false` here means a peer
+            // died without reaching the barrier — its own outcome carries
+            // the error, ours is complete.
+            rel.flush(timeout);
+            stats.recovery.merge(&rel.stats);
+            Ok((outputs, stats))
+        }
+        Err(e) => {
+            // Unblock peers lingering at the shutdown barrier.
+            rel.mark_finished();
+            Err(e)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main_inner(
+    rel: &mut ReliableEndpoint,
+    graph: &dyn TaskGraph,
+    map: &dyn TaskMap,
+    registry: &Registry,
+    initial: InitialInputs,
+    workers: usize,
+    timeout: Duration,
+    faults: &FaultPlan,
+    sink: Arc<dyn TraceSink>,
+) -> Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)> {
+    let my_shard = ShardId(rel.rank() as u32);
     let local = graph.local_graph(my_shard, map);
     let local_total = local.len();
     let mut buffers: HashMap<TaskId, InputBuffer> =
@@ -195,26 +266,41 @@ pub(crate) fn rank_main(
     }
 
     let tracing = sink.enabled();
-    let my_rank = ep.rank() as u32;
+    let my_rank = rel.rank() as u32;
+    let kills: Arc<HashSet<u32>> = Arc::new(
+        faults
+            .kill_worker
+            .iter()
+            .filter(|&&(r, _)| r == rel.rank())
+            .map(|&(_, w)| w)
+            .collect(),
+    );
     let (work_tx, work_rx) = unbounded::<WorkItem>();
     let (done_tx, done_rx) = unbounded::<DoneItem>();
 
     std::thread::scope(|s| {
         // Worker pool: executes ready tasks in the order their inputs
-        // completed.
+        // completed, retrying a panicking callback in place.
         for worker_idx in 0..workers as u32 {
             let work_rx = work_rx.clone();
             let done_tx = done_tx.clone();
             let sink = sink.clone();
+            let kills = kills.clone();
             s.spawn(move || {
                 while let Ok(WorkItem { task, inputs, ready_ns }) = work_rx.recv() {
-                    let exec_start = if tracing { now_ns() } else { 0 };
+                    if kills.contains(&worker_idx) {
+                        // Injected worker death: abandon the task just
+                        // picked up and die. The controller re-fires it
+                        // from the retained inputs onto a live worker.
+                        break;
+                    }
+                    let pickup = if tracing { now_ns() } else { 0 };
                     if tracing {
                         sink.record(
                             TraceEvent::span(
                                 SpanKind::QueueWait,
                                 ready_ns,
-                                exec_start,
+                                pickup,
                                 my_rank,
                                 worker_idx,
                             )
@@ -222,28 +308,62 @@ pub(crate) fn rank_main(
                         );
                     }
                     let cb = registry.get(task.callback).expect("preflight checked bindings");
-                    let outputs = cb(inputs, task.id);
-                    if tracing {
-                        let end = now_ns();
-                        sink.record(
-                            TraceEvent::span(SpanKind::Callback, exec_start, end, my_rank, worker_idx)
+                    let mut retries = 0u64;
+                    let result = loop {
+                        let attempt_start = if tracing { now_ns() } else { 0 };
+                        let attempt = catch_invoke(cb, inputs.clone(), task.id);
+                        if tracing {
+                            // Every attempt — failed ones included — gets
+                            // its own Callback + TaskExec span pair, so
+                            // retries are visible in the trace.
+                            let end = now_ns();
+                            sink.record(
+                                TraceEvent::span(
+                                    SpanKind::Callback,
+                                    attempt_start,
+                                    end,
+                                    my_rank,
+                                    worker_idx,
+                                )
                                 .with_task(task.id, task.callback),
-                        );
-                        sink.record(
-                            TraceEvent::span(SpanKind::TaskExec, exec_start, end, my_rank, worker_idx)
+                            );
+                            sink.record(
+                                TraceEvent::span(
+                                    SpanKind::TaskExec,
+                                    attempt_start,
+                                    end,
+                                    my_rank,
+                                    worker_idx,
+                                )
                                 .with_task(task.id, task.callback),
-                        );
-                    }
-                    let outputs = if outputs.len() == task.fan_out() {
-                        Ok(outputs)
-                    } else {
-                        Err(ControllerError::BadOutputArity {
-                            task: task.id,
-                            expected: task.fan_out(),
-                            got: outputs.len(),
-                        })
+                            );
+                        }
+                        match attempt {
+                            Ok(outs) => break Ok(outs),
+                            Err(reason) => {
+                                if retries >= MAX_TASK_RETRIES as u64 {
+                                    break Err(ControllerError::TaskError {
+                                        task: task.id,
+                                        attempts: retries as u32 + 1,
+                                        reason,
+                                    });
+                                }
+                                retries += 1;
+                            }
+                        }
                     };
-                    let _ = done_tx.send(DoneItem { task, outputs });
+                    let outputs = result.and_then(|outs| {
+                        if outs.len() == task.fan_out() {
+                            Ok(outs)
+                        } else {
+                            Err(ControllerError::BadOutputArity {
+                                task: task.id,
+                                expected: task.fan_out(),
+                                got: outs.len(),
+                            })
+                        }
+                    });
+                    let _ = done_tx.send(DoneItem { task, outputs, retries });
                 }
             });
         }
@@ -252,6 +372,8 @@ pub(crate) fn rank_main(
         let mut outputs: BTreeMap<TaskId, Vec<Payload>> = BTreeMap::new();
         let mut stats = RunStats::default();
         let mut executed = 0usize;
+        let mut inflight: HashMap<TaskId, Inflight> = HashMap::new();
+        let mut completed: HashSet<TaskId> = HashSet::new();
 
         let initially_ready: Vec<TaskId> = {
             let mut r: Vec<TaskId> =
@@ -259,16 +381,71 @@ pub(crate) fn rank_main(
             r.sort();
             r
         };
-        dispatch_ready(&mut buffers, initially_ready, &work_tx, tracing);
+        dispatch_ready(&mut buffers, initially_ready, &work_tx, &mut inflight, tracing);
+
+        // Short select tick (drives retransmits and re-fires) decoupled
+        // from the stall timeout (no progress at all for `timeout`).
+        let tick = Duration::from_millis(10).min(timeout);
+        let refire_after =
+            (timeout / 8).clamp(Duration::from_millis(50), Duration::from_secs(2));
+        let mut last_progress = Instant::now();
 
         while executed < local_total {
+            // Reliable layer first: deliver whatever is in order.
+            let mut newly_ready = Vec::new();
+            while let Some((src_rank, _tag, body)) = rel.pop_ready() {
+                let recv_start = if tracing { now_ns() } else { 0 };
+                let wire_bytes = body.len() as u64;
+                let msg = DataflowMsg::decode(&body).ok_or_else(|| {
+                    ControllerError::Runtime(format!("malformed message from rank {src_rank}"))
+                })?;
+                let buf = buffers.get_mut(&msg.dst_task).ok_or_else(|| {
+                    ControllerError::Runtime(format!(
+                        "message for unknown/finished task {}", msg.dst_task
+                    ))
+                })?;
+                if !buf.deliver(msg.src_task, Payload::Buffer(msg.payload)) {
+                    return Err(ControllerError::Runtime(format!(
+                        "unexpected delivery {} -> {}", msg.src_task, msg.dst_task
+                    )));
+                }
+                if tracing {
+                    sink.record(
+                        TraceEvent::span(
+                            SpanKind::MsgRecv,
+                            recv_start,
+                            now_ns(),
+                            my_rank,
+                            CONTROL_THREAD,
+                        )
+                        .with_task(msg.dst_task, buf.task().callback)
+                        .with_message(msg.src_task, wire_bytes),
+                    );
+                }
+                if buf.ready() {
+                    newly_ready.push(msg.dst_task);
+                }
+                last_progress = Instant::now();
+            }
+            dispatch_ready(&mut buffers, newly_ready, &work_tx, &mut inflight, tracing);
+
             // Biased two-way select: worker completions first, then network
-            // messages, then the stall timeout.
-            match select2(&done_rx, ep.inbox(), timeout) {
-                Select2::A(DoneItem { task, outputs: result }) => {
+            // envelopes, then the protocol tick. (Bound to a variable so
+            // the inbox borrow ends before `rel.handle` needs `&mut rel`.)
+            let sel = select2(&done_rx, rel.inbox(), tick);
+            match sel {
+                Select2::A(DoneItem { task, outputs: result, retries }) => {
+                    stats.recovery.retries += retries;
+                    if !completed.insert(task.id) {
+                        // A re-fired task completing a second time: its
+                        // outputs were already routed (exactly-once).
+                        continue;
+                    }
+                    inflight.remove(&task.id);
                     let outs = result?;
                     executed += 1;
                     stats.tasks_executed += 1;
+                    last_progress = Instant::now();
 
                     let mut newly_ready = Vec::new();
                     for (slot, payload) in outs.into_iter().enumerate() {
@@ -313,7 +490,7 @@ pub(crate) fn rank_main(
                                 stats.remote_messages += 1;
                                 stats.remote_bytes += body.len() as u64;
                                 let wire_bytes = body.len() as u64;
-                                ep.isend(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
+                                rel.send(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
                                 if tracing {
                                     sink.record(
                                         TraceEvent::span(
@@ -330,40 +507,10 @@ pub(crate) fn rank_main(
                             }
                         }
                     }
-                    dispatch_ready(&mut buffers, newly_ready, &work_tx, tracing);
+                    dispatch_ready(&mut buffers, newly_ready, &work_tx, &mut inflight, tracing);
                 }
                 Select2::B(env) => {
-                    let recv_start = if tracing { now_ns() } else { 0 };
-                    let wire_bytes = env.body.len() as u64;
-                    let msg = DataflowMsg::decode(&env.body).ok_or_else(|| {
-                        ControllerError::Runtime(format!("malformed message from rank {}", env.src))
-                    })?;
-                    let buf = buffers.get_mut(&msg.dst_task).ok_or_else(|| {
-                        ControllerError::Runtime(format!(
-                            "message for unknown/finished task {}", msg.dst_task
-                        ))
-                    })?;
-                    if !buf.deliver(msg.src_task, Payload::Buffer(msg.payload)) {
-                        return Err(ControllerError::Runtime(format!(
-                            "unexpected delivery {} -> {}", msg.src_task, msg.dst_task
-                        )));
-                    }
-                    if tracing {
-                        sink.record(
-                            TraceEvent::span(
-                                SpanKind::MsgRecv,
-                                recv_start,
-                                now_ns(),
-                                my_rank,
-                                CONTROL_THREAD,
-                            )
-                            .with_task(msg.dst_task, buf.task().callback)
-                            .with_message(msg.src_task, wire_bytes),
-                        );
-                    }
-                    if buf.ready() {
-                        dispatch_ready(&mut buffers, vec![msg.dst_task], &work_tx, tracing);
-                    }
+                    rel.handle(env);
                 }
                 Select2::DisconnectedA => {
                     return Err(ControllerError::Runtime("worker pool died".into()));
@@ -372,9 +519,33 @@ pub(crate) fn rank_main(
                     return Err(ControllerError::Runtime("world torn down".into()));
                 }
                 Select2::Timeout => {
-                    let mut pending: Vec<TaskId> = buffers.keys().copied().collect();
-                    pending.sort();
-                    return Err(ControllerError::Deadlock { pending });
+                    rel.tick();
+                    // Re-fire tasks whose completion is overdue — their
+                    // worker died holding them. Idempotence makes the
+                    // duplicate execution harmless; `completed` dedups.
+                    let now = Instant::now();
+                    for inf in inflight.values_mut() {
+                        if now.duration_since(inf.dispatched_at) >= refire_after
+                            && inf.refires < MAX_TASK_RETRIES
+                        {
+                            inf.refires += 1;
+                            inf.dispatched_at = now;
+                            stats.recovery.retries += 1;
+                            work_tx
+                                .send(WorkItem {
+                                    task: inf.task.clone(),
+                                    inputs: inf.inputs.clone(),
+                                    ready_ns: if tracing { now_ns() } else { 0 },
+                                })
+                                .expect("workers alive");
+                        }
+                    }
+                    if last_progress.elapsed() >= timeout {
+                        let mut pending: Vec<TaskId> =
+                            buffers.keys().copied().chain(inflight.keys().copied()).collect();
+                        pending.sort();
+                        return Err(ControllerError::Deadlock { pending });
+                    }
                 }
             }
         }

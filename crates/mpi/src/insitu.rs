@@ -139,6 +139,7 @@ impl InSituRank {
             local_inputs,
             self.workers,
             self.timeout,
+            &crate::comm::FaultPlan::none(),
             babelflow_core::trace::noop_sink(),
         )
     }

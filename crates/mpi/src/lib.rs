@@ -23,12 +23,14 @@ pub mod blocking;
 pub mod comm;
 pub mod controller;
 pub mod insitu;
+pub mod reliable;
 pub mod wire;
 
 pub use blocking::{static_schedule, BlockingMpiController};
 pub use comm::{Envelope, FaultPlan, RankComm, World};
 pub use controller::{MpiController, DEFAULT_TIMEOUT};
 pub use insitu::{InSituRank, InSituWorld};
+pub use reliable::{ReliableEndpoint, BASE_RTO, TAG_ACK};
 pub use wire::{DataflowMsg, TAG_DATAFLOW};
 
 #[cfg(test)]
@@ -171,35 +173,108 @@ use babelflow_graphs::{BinarySwap, Reduction};
     }
 
     #[test]
-    fn dropped_message_surfaces_as_deadlock() {
+    fn dropped_message_is_recovered_by_retransmit() {
         let g = Reduction::new(4, 2);
         let reg = sum_registry();
+        let serial = run_serial(&g, &reg, reduction_inputs(&g)).unwrap();
         let map = ModuloMap::new(2, g.size() as u64);
-        // Drop the first message rank 1 sends to rank 0.
+        // Drop the first message rank 1 sends to rank 0: the reliable
+        // layer retransmits it and the run completes correctly anyway.
         let faults = FaultPlan { drop: vec![(1, 0, 0)], ..FaultPlan::none() };
         let mut c = MpiController::new()
             .with_faults(faults)
-            .with_timeout(Duration::from_millis(200));
-        let err = c.run(&g, &map, &reg, reduction_inputs(&g)).unwrap_err();
-        assert!(matches!(err, ControllerError::Deadlock { .. }), "got {err}");
+            .with_timeout(Duration::from_secs(5));
+        let report = c.run(&g, &map, &reg, reduction_inputs(&g)).unwrap();
+        assert_eq!(canonical_outputs(&report), canonical_outputs(&serial));
+        assert!(report.stats.recovery.retransmits > 0, "{}", report.stats);
     }
 
     #[test]
-    fn duplicated_message_surfaces_as_protocol_error() {
+    fn duplicated_message_is_suppressed() {
         let g = Reduction::new(4, 2);
         let reg = sum_registry();
+        let serial = run_serial(&g, &reg, reduction_inputs(&g)).unwrap();
         let map = ModuloMap::new(2, g.size() as u64);
         let faults = FaultPlan { duplicate: vec![(1, 0, 0)], ..FaultPlan::none() };
         let mut c = MpiController::new()
             .with_faults(faults)
-            .with_timeout(Duration::from_millis(500));
-        let err = c.run(&g, &map, &reg, reduction_inputs(&g)).unwrap_err();
-        // Either the duplicate hits a consumed buffer or a full slot; it
-        // must never silently succeed.
-        assert!(
-            matches!(err, ControllerError::Runtime(_) | ControllerError::Deadlock { .. }),
-            "got {err}"
-        );
+            .with_timeout(Duration::from_secs(5));
+        let report = c.run(&g, &map, &reg, reduction_inputs(&g)).unwrap();
+        assert_eq!(canonical_outputs(&report), canonical_outputs(&serial));
+        assert!(report.stats.recovery.duplicates_suppressed > 0, "{}", report.stats);
+    }
+
+    #[test]
+    fn blocking_controller_recovers_from_drops_too() {
+        let g = Reduction::new(4, 2);
+        let reg = sum_registry();
+        let serial = run_serial(&g, &reg, reduction_inputs(&g)).unwrap();
+        let map = ModuloMap::new(2, g.size() as u64);
+        let faults = FaultPlan { drop: vec![(1, 0, 0)], ..FaultPlan::none() };
+        let mut c = BlockingMpiController::new()
+            .with_faults(faults)
+            .with_timeout(Duration::from_secs(5));
+        let report = c.run(&g, &map, &reg, reduction_inputs(&g)).unwrap();
+        assert_eq!(canonical_outputs(&report), canonical_outputs(&serial));
+        assert!(report.stats.recovery.retransmits > 0, "{}", report.stats);
+    }
+
+    #[test]
+    fn killed_worker_task_is_refired() {
+        let g = Reduction::new(4, 2);
+        let reg = sum_registry();
+        let serial = run_serial(&g, &reg, reduction_inputs(&g)).unwrap();
+        let map = ModuloMap::new(2, g.size() as u64);
+        let faults = FaultPlan { kill_worker: vec![(0, 0)], ..FaultPlan::none() };
+        let mut c = MpiController::new()
+            .with_workers(2)
+            .with_faults(faults)
+            .with_timeout(Duration::from_secs(5));
+        let report = c.run(&g, &map, &reg, reduction_inputs(&g)).unwrap();
+        assert_eq!(canonical_outputs(&report), canonical_outputs(&serial));
+        assert!(report.stats.recovery.retries > 0, "{}", report.stats);
+    }
+
+    #[test]
+    fn poisoned_callback_is_retried_on_both_mpi_controllers() {
+        use babelflow_core::fault::inject_panics;
+        let g = Reduction::new(4, 2);
+        let reg = sum_registry();
+        let serial = run_serial(&g, &reg, reduction_inputs(&g)).unwrap();
+        let map = ModuloMap::new(2, g.size() as u64);
+        let root = g.root_id();
+        for blocking in [false, true] {
+            let plan = FaultPlan { panic_once: vec![root], ..FaultPlan::none() };
+            let poisoned = inject_panics(&reg, &plan);
+            let report = if blocking {
+                BlockingMpiController::new()
+                    .with_timeout(Duration::from_secs(5))
+                    .run(&g, &map, &poisoned, reduction_inputs(&g))
+            } else {
+                MpiController::new()
+                    .with_timeout(Duration::from_secs(5))
+                    .run(&g, &map, &poisoned, reduction_inputs(&g))
+            }
+            .unwrap();
+            assert_eq!(canonical_outputs(&report), canonical_outputs(&serial));
+            assert!(report.stats.recovery.retries > 0, "blocking={blocking}");
+        }
+    }
+
+    #[test]
+    fn persistently_failing_task_surfaces_as_task_error() {
+        babelflow_core::quiet_panic_hook();
+        let g = Reduction::new(4, 2);
+        let mut reg = sum_registry();
+        reg.register(CallbackId(2), |_, _| -> Vec<Payload> {
+            panic!("{}: root always fails", babelflow_core::PANIC_MARKER)
+        });
+        let map = ModuloMap::new(2, g.size() as u64);
+        let err = MpiController::new()
+            .with_timeout(Duration::from_secs(5))
+            .run(&g, &map, &reg, reduction_inputs(&g))
+            .unwrap_err();
+        assert!(matches!(err, ControllerError::TaskError { .. }), "got {err}");
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Reliable delivery on top of the faultable transport: ack/retransmit
+//! with exponential backoff, sequence numbering, in-order restore, and
+//! duplicate suppression.
+//!
+//! [`RankComm`] deliberately models a lossy network when a
+//! [`FaultPlan`](crate::comm::FaultPlan) is armed: messages can be
+//! dropped, duplicated, or delayed (reordered). [`ReliableEndpoint`]
+//! wraps an endpoint with the classic positive-ack protocol so that
+//! *drop, duplicate and reorder all converge to exactly-once, in-order
+//! delivery*:
+//!
+//! * every data message is framed with a per-destination logical sequence
+//!   number and retained until the receiver acknowledges it;
+//! * unacknowledged messages are retransmitted on [`tick`] with
+//!   exponential backoff;
+//! * the receiver acks every arrival (even duplicates — the original ack
+//!   may itself have been lost), delivers in sequence order via a
+//!   reorder buffer, and counts suppressed duplicates;
+//! * acks travel over the same faultable transport and consume fault
+//!   sequence numbers too, so an injected fault may hit data, ack, or
+//!   retransmit — the protocol converges regardless.
+//!
+//! Shutdown is the subtle part: a rank that finished its own tasks must
+//! keep servicing acks until *every* rank is done, otherwise a peer's
+//! retransmit would land in a torn-down inbox forever. [`flush`] runs the
+//! two-phase barrier: drain until all own sends are acked, declare
+//! finished ([`RankComm::mark_finished`]), then linger — re-acking
+//! whatever still arrives — until the whole world is finished.
+//!
+//! [`tick`]: ReliableEndpoint::tick
+//! [`flush`]: ReliableEndpoint::flush
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use babelflow_core::channel::Receiver;
+use babelflow_core::{Bytes, RecoveryStats};
+
+use crate::comm::{Envelope, RankComm};
+
+/// Tag reserved for acknowledgements (controllers use small tags; the
+/// dataflow tag is 0).
+pub const TAG_ACK: u32 = u32::MAX;
+
+/// Initial retransmit timeout; doubles per attempt (capped) so a
+/// persistently lossy link backs off instead of flooding.
+pub const BASE_RTO: Duration = Duration::from_millis(20);
+
+/// A sent-but-unacknowledged message retained for retransmission.
+struct Pending {
+    tag: u32,
+    framed: Bytes,
+    sent_at: Instant,
+    attempts: u32,
+}
+
+impl Pending {
+    fn overdue(&self, now: Instant) -> bool {
+        let rto = BASE_RTO * 2u32.saturating_pow(self.attempts.min(6));
+        now.duration_since(self.sent_at) >= rto
+    }
+}
+
+/// A [`RankComm`] wrapped with the ack/retransmit protocol.
+///
+/// All sends and receives of *data* must go through this wrapper once any
+/// rank uses it — the framing adds a sequence-number header the raw
+/// endpoint knows nothing about.
+pub struct ReliableEndpoint {
+    ep: RankComm,
+    /// Next sequence number per destination rank.
+    next_seq: Vec<u64>,
+    /// Sent and not yet acked, keyed (dst, seq).
+    unacked: HashMap<(usize, u64), Pending>,
+    /// Next expected sequence number per source rank.
+    next_expected: Vec<u64>,
+    /// Out-of-order arrivals per source, waiting for the gap to fill.
+    reorder: Vec<BTreeMap<u64, (u32, Bytes)>>,
+    /// In-order messages ready for the application: (src, tag, body).
+    ready: VecDeque<(usize, u32, Bytes)>,
+    /// Protocol counters, merged into the run's `RunStats`.
+    pub stats: RecoveryStats,
+}
+
+fn frame(seq: u64, body: &Bytes) -> Bytes {
+    let mut v = Vec::with_capacity(8 + body.len());
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(body.as_ref());
+    Bytes::from(v)
+}
+
+fn unframe(body: &Bytes) -> Option<(u64, Bytes)> {
+    let b = body.as_ref();
+    if b.len() < 8 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+    Some((seq, body.slice(8..)))
+}
+
+fn ack_body(seq: u64) -> Bytes {
+    Bytes::from(seq.to_le_bytes().to_vec())
+}
+
+impl ReliableEndpoint {
+    /// Wrap a raw endpoint.
+    pub fn new(ep: RankComm) -> Self {
+        let n = ep.size();
+        ReliableEndpoint {
+            ep,
+            next_seq: vec![0; n],
+            unacked: HashMap::new(),
+            next_expected: vec![0; n],
+            reorder: (0..n).map(|_| BTreeMap::new()).collect(),
+            ready: VecDeque::new(),
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.ep.size()
+    }
+
+    /// The raw inbox receiver, for `select2` loops. Every envelope taken
+    /// from it must be fed to [`handle`](Self::handle).
+    pub fn inbox(&self) -> &Receiver<Envelope> {
+        self.ep.inbox()
+    }
+
+    /// Send `body` to `dst` reliably: frame it with the next sequence
+    /// number, retain it for retransmission, and fire it off.
+    pub fn send(&mut self, dst: usize, tag: u32, body: Bytes) {
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
+        let framed = frame(seq, &body);
+        self.ep.isend(dst, tag, framed.clone());
+        self.unacked.insert(
+            (dst, seq),
+            Pending { tag, framed, sent_at: Instant::now(), attempts: 0 },
+        );
+    }
+
+    /// Process one raw envelope: consume acks, ack + order + dedup data.
+    /// In-order data becomes available via [`pop_ready`](Self::pop_ready).
+    pub fn handle(&mut self, env: Envelope) {
+        if env.tag == TAG_ACK {
+            if let Some((seq, _)) = unframe(&env.body) {
+                if self.unacked.remove(&(env.src, seq)).is_none() {
+                    // An ack for something no longer pending is itself a
+                    // duplicate (re-ack of a retransmit, or a transport
+                    // duplicate of the ack) — count it as suppressed.
+                    self.stats.duplicates_suppressed += 1;
+                }
+            }
+            return;
+        }
+        let Some((seq, body)) = unframe(&env.body) else {
+            return; // unframeable garbage: drop (a retransmit will follow)
+        };
+        // Always ack, even duplicates — the previous ack may have been the
+        // casualty of the fault plan.
+        self.ep.isend(env.src, TAG_ACK, ack_body(seq));
+        let expected = self.next_expected[env.src];
+        if seq < expected {
+            self.stats.duplicates_suppressed += 1;
+            return;
+        }
+        if seq > expected {
+            if self.reorder[env.src].insert(seq, (env.tag, body)).is_some() {
+                self.stats.duplicates_suppressed += 1;
+            }
+            return;
+        }
+        self.ready.push_back((env.src, env.tag, body));
+        self.next_expected[env.src] += 1;
+        // Drain any buffered successors the gap was holding back.
+        while let Some((tag, body)) = self.reorder[env.src].remove(&self.next_expected[env.src]) {
+            self.ready.push_back((env.src, tag, body));
+            self.next_expected[env.src] += 1;
+        }
+    }
+
+    /// Next in-order message, if any: `(src_rank, tag, body)`.
+    pub fn pop_ready(&mut self) -> Option<(usize, u32, Bytes)> {
+        self.ready.pop_front()
+    }
+
+    /// Retransmit every overdue unacknowledged message (exponential
+    /// backoff per message). Call periodically from the progress loop.
+    pub fn tick(&mut self) {
+        let now = Instant::now();
+        for (&(dst, _), pending) in self.unacked.iter_mut() {
+            if pending.overdue(now) {
+                self.ep.isend(dst, pending.tag, pending.framed.clone());
+                pending.sent_at = now;
+                pending.attempts += 1;
+                self.stats.retransmits += 1;
+            }
+        }
+    }
+
+    /// Whether every send has been acknowledged.
+    pub fn all_acked(&self) -> bool {
+        self.unacked.is_empty()
+    }
+
+    /// Declare this rank finished without draining (error paths): peers
+    /// stop waiting for it at the shutdown barrier.
+    pub fn mark_finished(&self) {
+        self.ep.mark_finished();
+    }
+
+    /// Two-phase shutdown, bounded by `stall`: (1) drain until all own
+    /// sends are acked, (2) mark this rank finished and linger — re-acking
+    /// retransmits — until every rank is finished. Returns false if the
+    /// deadline expired first (a peer died without marking itself
+    /// finished); the caller's own results are complete either way.
+    pub fn flush(&mut self, stall: Duration) -> bool {
+        let deadline = Instant::now() + stall;
+        let poll = Duration::from_millis(2);
+        while !self.all_acked() {
+            if Instant::now() >= deadline {
+                self.mark_finished();
+                return false;
+            }
+            self.tick();
+            if let Some(env) = self.ep.recv_timeout(poll) {
+                self.handle(env);
+            }
+        }
+        self.mark_finished();
+        while !self.ep.all_finished() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            if let Some(env) = self.ep.recv_timeout(poll) {
+                self.handle(env);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{FaultPlan, World};
+
+    fn exchange(faults: FaultPlan, messages: u64) -> (RecoveryStats, RecoveryStats) {
+        let mut w = World::with_faults(2, faults);
+        let mut eps: Vec<ReliableEndpoint> =
+            w.endpoints().into_iter().map(ReliableEndpoint::new).collect();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let stats = std::thread::scope(|s| {
+            let ha = s.spawn(move || {
+                let mut a = a;
+                for i in 0..messages {
+                    a.send(1, 7, Bytes::from(i.to_le_bytes().to_vec()));
+                }
+                assert!(a.flush(Duration::from_secs(5)), "rank 0 flush timed out");
+                a.stats
+            });
+            let hb = s.spawn(move || {
+                let mut b = b;
+                let mut got = Vec::new();
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while (got.len() as u64) < messages {
+                    assert!(Instant::now() < deadline, "receiver stalled at {got:?}");
+                    if let Some(env) = b.ep.recv_timeout(Duration::from_millis(2)) {
+                        b.handle(env);
+                    }
+                    while let Some((src, tag, body)) = b.pop_ready() {
+                        assert_eq!((src, tag), (0, 7));
+                        got.push(u64::from_le_bytes(body.as_ref().try_into().unwrap()));
+                    }
+                }
+                // Exactly-once, in order, despite the fault plan.
+                assert_eq!(got, (0..messages).collect::<Vec<_>>());
+                assert!(b.flush(Duration::from_secs(5)), "rank 1 flush timed out");
+                b.stats
+            });
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        stats
+    }
+
+    #[test]
+    fn clean_link_needs_no_recovery() {
+        let (a, b) = exchange(FaultPlan::none(), 8);
+        assert!(a.is_clean(), "{a:?}");
+        assert!(b.is_clean(), "{b:?}");
+    }
+
+    #[test]
+    fn dropped_data_is_retransmitted() {
+        let faults = FaultPlan { drop: vec![(0, 1, 0)], ..FaultPlan::none() };
+        let (a, _b) = exchange(faults, 4);
+        assert!(a.retransmits > 0, "{a:?}");
+    }
+
+    #[test]
+    fn duplicated_data_is_suppressed() {
+        let faults = FaultPlan { duplicate: vec![(0, 1, 1)], ..FaultPlan::none() };
+        let (_a, b) = exchange(faults, 4);
+        assert!(b.duplicates_suppressed > 0, "{b:?}");
+    }
+
+    #[test]
+    fn dropped_ack_causes_retransmit_and_suppression() {
+        // Rank 1's first send is its ack for seq 0: dropping it forces a
+        // data retransmit (rank 0) and a duplicate suppression (rank 1).
+        let faults = FaultPlan { drop: vec![(1, 0, 0)], ..FaultPlan::none() };
+        let (a, b) = exchange(faults, 4);
+        assert!(a.retransmits > 0, "{a:?}");
+        assert!(b.duplicates_suppressed > 0, "{b:?}");
+    }
+
+    #[test]
+    fn delayed_data_is_reordered_back() {
+        let faults = FaultPlan {
+            delay: vec![(0, 1, 0, Duration::from_millis(30))],
+            ..FaultPlan::none()
+        };
+        // exchange() already asserts strict delivery order.
+        let (_a, b) = exchange(faults, 4);
+        // The held message either arrives late (buffered successors drain)
+        // or is beaten by its own retransmit (suppressed); both are fine —
+        // the order assertion inside exchange() is the real check.
+        let _ = b;
+    }
+
+    #[test]
+    fn storm_of_faults_converges() {
+        let faults = FaultPlan {
+            drop: vec![(0, 1, 1), (1, 0, 2)],
+            duplicate: vec![(0, 1, 3), (1, 0, 0)],
+            delay: vec![(0, 1, 5, Duration::from_millis(10))],
+            ..FaultPlan::none()
+        };
+        let (a, b) = exchange(faults, 12);
+        assert!(a.retransmits + b.retransmits > 0);
+    }
+}

@@ -68,7 +68,8 @@ pub mod recorder;
 pub mod replay;
 
 pub use analysis::{
-    check_coverage, check_well_nested, observed_critical_path, CallbackStats, CoverageError,
+    check_coverage, check_coverage_effective, check_well_nested, observed_critical_path,
+    CallbackStats, CoverageError,
     Histogram, RankStats, TraceSummary,
 };
 pub use chrome::to_chrome_json;

@@ -35,23 +35,32 @@ impl ObservedCostModel {
     /// (falling back to the `TaskExec` span, then to the median of all
     /// callbacks); `MsgSend` spans give output bytes, `MsgRecv` spans
     /// give external-input bytes.
+    ///
+    /// When a task has several spans of the same kind — fault-tolerant
+    /// runs record one per retry attempt — the *last* one wins: it is the
+    /// attempt that actually produced the task's effect, so it is the
+    /// task's cost.
     pub fn from_trace(trace: &Trace) -> Self {
-        let mut compute: HashMap<TaskId, u64> = HashMap::new();
+        let mut cb_compute: HashMap<TaskId, u64> = HashMap::new();
+        let mut exec_compute: HashMap<TaskId, u64> = HashMap::new();
         let mut sends: HashMap<TaskId, Vec<u64>> = HashMap::new();
         let mut recvs: HashMap<TaskId, Vec<u64>> = HashMap::new();
         for e in trace.events() {
             match e.kind {
                 SpanKind::Callback => {
-                    compute.insert(e.task, e.duration_ns());
+                    cb_compute.insert(e.task, e.duration_ns());
                 }
                 SpanKind::TaskExec => {
-                    compute.entry(e.task).or_insert_with(|| e.duration_ns());
+                    exec_compute.insert(e.task, e.duration_ns());
                 }
                 SpanKind::MsgSend => sends.entry(e.task).or_default().push(e.bytes),
                 SpanKind::MsgRecv => recvs.entry(e.task).or_default().push(e.bytes),
                 SpanKind::QueueWait => {}
             }
         }
+        // Callback durations win over the enclosing task span.
+        let mut compute = exec_compute;
+        compute.extend(cb_compute);
         let mut durations: Vec<u64> = compute.values().copied().collect();
         durations.sort_unstable();
         let fallback_ns = durations.get(durations.len() / 2).copied().unwrap_or(1_000).max(1);
@@ -179,7 +188,9 @@ pub fn replay(trace: &Trace, graph: &dyn TaskGraph, rc: &RuntimeCosts) -> Replay
     let mut rank_of: HashMap<TaskId, u32> = HashMap::new();
     for e in trace.of_kind(SpanKind::TaskExec) {
         let rank = if e.rank == HOST_RANK { 0 } else { e.rank };
-        rank_of.entry(e.task).or_insert(rank);
+        // Last execution wins: on a faulted run with retries, that is the
+        // attempt whose outputs the dataflow consumed.
+        rank_of.insert(e.task, rank);
     }
     let cores = rank_of.values().copied().max().unwrap_or(0) + 1;
     let machine = MachineConfig {
@@ -194,11 +205,15 @@ pub fn replay(trace: &Trace, graph: &dyn TaskGraph, rc: &RuntimeCosts) -> Replay
     let placement = |id: TaskId| rank_of.get(&id).copied().unwrap_or(0);
     let sim = simulate(graph, &placement, &cost, &machine, rc);
 
-    // Observed schedule: tasks by observed execution start.
-    let mut observed: Vec<(u64, TaskId)> = trace
-        .of_kind(SpanKind::TaskExec)
-        .map(|e| (e.start_ns, e.task))
-        .collect();
+    // Observed schedule: tasks by the start of their *last* execution
+    // (retried attempts before it never produced consumed outputs).
+    let mut last_start: HashMap<TaskId, u64> = HashMap::new();
+    for e in trace.of_kind(SpanKind::TaskExec) {
+        let s = last_start.entry(e.task).or_insert(e.start_ns);
+        *s = (*s).max(e.start_ns);
+    }
+    let mut observed: Vec<(u64, TaskId)> =
+        last_start.into_iter().map(|(t, s)| (s, t)).collect();
     observed.sort_unstable();
     let observed_pos: HashMap<TaskId, u64> =
         observed.iter().enumerate().map(|(i, &(_, t))| (t, i as u64)).collect();

@@ -17,3 +17,11 @@ test -s /tmp/babelflow_trace.json
 # the fault-free serial golden (exits nonzero on divergence or on a run
 # that reports zero retries — see DESIGN.md §11).
 cargo run --release --offline --example fault_drill
+
+# Perf smoke: re-measure the fast-path counters and compare against the
+# committed BENCH_controllers.json baseline. Exits nonzero if steady-state
+# graph queries or per-delivery allocations become nonzero, if structural
+# counters (payload clones) move at all, if transport counters leave a
+# 1.5x band, or if the 1024-leaf k-way reduction's legacy-vs-plan query
+# ratio drops below 10x (see DESIGN.md §12).
+cargo run --release --offline -p babelflow-bench --bin perf_smoke -- --check

@@ -8,10 +8,12 @@
 //! at the execution time of a chare, […] and the communication between
 //! chares uses remote procedure calls."
 //!
-//! Accordingly this controller ignores the user's `TaskMap` (the runtime
-//! places and rebalances chares itself), creates one chare per task with
-//! chare index == task id, and starts the dataflow by delivering the
-//! initial payloads to the input chares.
+//! Accordingly this controller ignores the user's `TaskMap` for placement
+//! (the runtime places and rebalances chares itself), creates one chare per
+//! task with chare index == task id, and starts the dataflow by delivering
+//! the initial payloads to the input chares. Graph structure comes from a
+//! [`ShardPlan`] built once up front, so chare construction and routing
+//! never re-query the procedural graph.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,8 +22,8 @@ use babelflow_core::fault::{catch_invoke, MAX_TASK_RETRIES};
 use babelflow_core::sync::Counter;
 use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink};
 use babelflow_core::{
-    preflight, Callback, Controller, ControllerError, InitialInputs, InputBuffer, Payload,
-    Registry, Result, RunReport, Task, TaskGraph, TaskId, TaskMap,
+    Callback, Controller, ControllerError, InitialInputs, Payload, PlanBuffer, Registry, Result,
+    RunReport, ShardPlan, TaskGraph, TaskId, TaskMap,
 };
 
 use crate::runtime::{Chare, ChareCtx, CharmRuntime, LoadBalance};
@@ -36,6 +38,9 @@ pub struct CharmController {
     pub lb: LoadBalance,
     /// Quiescence-stall timeout.
     pub timeout: Duration,
+    /// Prebuilt execution plan. When absent, one is built (and its graph
+    /// queries charged to `PerfStats::task_queries`) on each run.
+    pub plan: Option<Arc<ShardPlan>>,
 }
 
 impl CharmController {
@@ -46,6 +51,7 @@ impl CharmController {
             pes,
             lb: LoadBalance::Periodic(Duration::from_millis(50)),
             timeout: Duration::from_secs(10),
+            plan: None,
         }
     }
 
@@ -60,28 +66,39 @@ impl CharmController {
         self.timeout = timeout;
         self
     }
+
+    /// Execute from a prebuilt plan instead of querying the graph.
+    pub fn with_plan(mut self, plan: Arc<ShardPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
 }
 
 /// A task graph node hosted as a chare: buffers inputs, executes its
 /// callback when complete, then retires.
 struct TaskChare {
-    buffer: InputBuffer,
+    buffer: PlanBuffer,
+    plan: Arc<ShardPlan>,
     callback: Callback,
     error: ErrorSink,
     /// Shared retry counter, surfaced as `RunStats::recovery.retries`.
     retries: Arc<Counter>,
+    /// Shared payload-clone counter, surfaced as `PerfStats::payload_clones`.
+    clones: Arc<Counter>,
 }
 
 type ErrorSink = std::sync::Arc<babelflow_core::sync::Mutex<Option<ControllerError>>>;
 
 impl Chare for TaskChare {
     fn on_message(&mut self, src: TaskId, payload: Payload, ctx: &mut ChareCtx<'_>) -> bool {
-        if !self.buffer.deliver(src, payload) {
+        let ix = self.buffer.ix();
+        let pt = self.plan.task(ix);
+        if !self.buffer.deliver(pt, src, payload) {
             let mut slot = self.error.lock();
             if slot.is_none() {
                 *slot = Some(ControllerError::Runtime(format!(
                     "unexpected delivery {src} -> {}",
-                    self.buffer.task().id
+                    pt.id()
                 )));
             }
             // Retire so the run drains instead of stalling on a poisoned
@@ -92,9 +109,8 @@ impl Chare for TaskChare {
             return false;
         }
         // Execute: translate the chare id back into a task and run it.
-        let placeholder = InputBuffer::new(Task::new(TaskId::EXTERNAL, self.buffer.task().callback));
-        let buffer = std::mem::replace(&mut self.buffer, placeholder);
-        let (task, inputs) = buffer.take();
+        let buffer = std::mem::replace(&mut self.buffer, PlanBuffer::new(&self.plan, ix));
+        let inputs = buffer.take();
         let tracing = ctx.tracing();
         // Chares re-execute a faulted entry method in place: inputs are
         // retained until the callback succeeds, so recovery needs no
@@ -102,20 +118,21 @@ impl Chare for TaskChare {
         let mut attempts = 0u32;
         let outputs = loop {
             attempts += 1;
+            self.clones.fetch_add(inputs.len() as u64);
             let exec_start = if tracing { now_ns() } else { 0 };
-            let result = catch_invoke(&self.callback, inputs.clone(), task.id);
+            let result = catch_invoke(&self.callback, inputs.clone(), pt.id());
             if tracing {
                 let end = now_ns();
                 let (pe, sink) = (ctx.pe() as u32, ctx.trace_sink());
                 sink.record(
                     TraceEvent::span(SpanKind::Callback, exec_start, end, pe, 0)
-                        .with_task(task.id, task.callback),
+                        .with_task(pt.id(), pt.callback()),
                 );
                 // The runtime sees only messages; the per-attempt task span
                 // is the chare's to emit, on the entry method that fired.
                 sink.record(
                     TraceEvent::span(SpanKind::TaskExec, exec_start, end, pe, 0)
-                        .with_task(task.id, task.callback),
+                        .with_task(pt.id(), pt.callback()),
                 );
             }
             match result {
@@ -125,7 +142,7 @@ impl Chare for TaskChare {
                         let mut slot = self.error.lock();
                         if slot.is_none() {
                             *slot = Some(ControllerError::TaskError {
-                                task: task.id,
+                                task: pt.id(),
                                 attempts,
                                 reason,
                             });
@@ -136,23 +153,24 @@ impl Chare for TaskChare {
                 }
             }
         };
-        if outputs.len() != task.fan_out() {
+        if outputs.len() != pt.fan_out() {
             let mut slot = self.error.lock();
             if slot.is_none() {
                 *slot = Some(ControllerError::BadOutputArity {
-                    task: task.id,
-                    expected: task.fan_out(),
+                    task: pt.id(),
+                    expected: pt.fan_out(),
                     got: outputs.len(),
                 });
             }
             return true;
         }
         for (slot, payload) in outputs.into_iter().enumerate() {
-            for &dst in &task.outgoing[slot] {
-                if dst.is_external() {
-                    ctx.emit_external(task.id, payload.clone());
+            for route in &pt.routes[slot] {
+                self.clones.next();
+                if route.is_external() {
+                    ctx.emit_external(pt.id(), payload.clone());
                 } else {
-                    ctx.send(dst.0, task.id, payload.clone());
+                    ctx.send(route.dst.0, pt.id(), payload.clone());
                 }
             }
         }
@@ -168,29 +186,43 @@ impl Controller for CharmController {
     fn run_traced(
         &mut self,
         graph: &dyn TaskGraph,
-        _map: &dyn TaskMap, // the Charm++ runtime places chares itself
+        map: &dyn TaskMap, // placement ignored; only used if a plan must be built
         registry: &Registry,
         initial: InitialInputs,
         sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
-        preflight(graph, registry, &initial)?;
+        let (plan, built_queries) = match &self.plan {
+            Some(p) => (p.clone(), 0),
+            None => {
+                let p = Arc::new(ShardPlan::build(graph, map));
+                let q = p.build_queries();
+                (p, q)
+            }
+        };
+        plan.preflight(registry, &initial)?;
 
-        let indices: Vec<u64> = graph.ids().iter().map(|id| id.0).collect();
+        let indices: Vec<u64> = plan.tasks().iter().map(|pt| pt.id().0).collect();
         let error: ErrorSink = Default::default();
         let retries = Arc::new(Counter::new(0));
+        let clones = Arc::new(Counter::new(0));
 
         let factory = {
             let error = error.clone();
             let retries = retries.clone();
+            let clones = clones.clone();
+            let plan = plan.clone();
             move |idx: u64| -> Box<dyn Chare> {
-                let task = graph.task(TaskId(idx)).expect("chare index is a task id");
+                let ix = plan.index_of(TaskId(idx)).expect("chare index is a task id");
+                let pt = plan.task(ix);
                 let callback =
-                    registry.get(task.callback).expect("preflight checked bindings").clone();
+                    registry.get(pt.callback()).expect("preflight checked bindings").clone();
                 Box::new(TaskChare {
-                    buffer: InputBuffer::new(task),
+                    buffer: PlanBuffer::new(&plan, ix),
+                    plan: plan.clone(),
                     callback,
                     error: error.clone(),
                     retries: retries.clone(),
+                    clones: clones.clone(),
                 })
             }
         };
@@ -220,6 +252,8 @@ impl Controller for CharmController {
                 report.stats.local_messages = stats.local_messages;
                 report.stats.remote_messages = stats.cross_pe_messages;
                 report.stats.recovery.retries = retries.get();
+                report.stats.perf.task_queries = built_queries;
+                report.stats.perf.payload_clones = clones.get();
                 Ok(report)
             }
             Err(pending) => Err(ControllerError::Deadlock {

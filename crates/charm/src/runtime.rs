@@ -23,8 +23,7 @@ use std::time::{Duration, Instant};
 
 use babelflow_core::trace::{noop_sink, now_ns, SpanKind, TraceEvent, TraceSink, HOST_RANK};
 use babelflow_core::{Payload, TaskId};
-use babelflow_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use babelflow_core::sync::Mutex;
+use babelflow_core::sync::{Mutex, WorkPool};
 
 /// A message-driven parallel object hosted by the runtime.
 pub trait Chare: Send {
@@ -82,8 +81,11 @@ pub struct CharmStats {
 struct Shared {
     /// Location manager: chare index -> current PE.
     locations: Mutex<HashMap<u64, usize>>,
-    /// PE inboxes.
-    inboxes: Vec<Sender<Directive>>,
+    /// PE scheduler queues: one [`WorkPool`] whose *pinned* lanes replace
+    /// the old per-PE channels. Directives target a specific PE (a chare's
+    /// owner), so they ride the pinned lane stealing never touches —
+    /// migration stays the load balancer's job, not the scheduler's.
+    pool: WorkPool<Directive>,
     /// External outputs collected across PEs.
     outputs: Mutex<BTreeMap<TaskId, Vec<Payload>>>,
     /// Retired-chare count (quiescence detection).
@@ -119,7 +121,7 @@ impl Shared {
             self.cross_msgs.fetch_add(1, Ordering::Relaxed);
         }
         let sent_ns = if self.tracing { now_ns() } else { 0 };
-        let _ = self.inboxes[pe].send(Directive::Deliver { idx, src, payload, sent_ns });
+        self.pool.push_to(pe, Directive::Deliver { idx, src, payload, sent_ns });
         if self.tracing {
             let rank = if from_pe == usize::MAX { HOST_RANK } else { from_pe as u32 };
             // Payloads move by shared reference between PEs: bytes = 0.
@@ -244,20 +246,12 @@ impl CharmRuntime {
         F: Fn(u64) -> Box<dyn Chare> + Send + Sync,
     {
         let total = indices.len() as u64;
-        let mut inboxes = Vec::with_capacity(self.pes);
-        let mut receivers = Vec::with_capacity(self.pes);
-        for _ in 0..self.pes {
-            let (tx, rx) = unbounded();
-            inboxes.push(tx);
-            receivers.push(rx);
-        }
-
         let locations: HashMap<u64, usize> =
             indices.iter().enumerate().map(|(i, &idx)| (idx, i % self.pes)).collect();
 
         let shared = Arc::new(Shared {
             locations: Mutex::new(locations),
-            inboxes,
+            pool: WorkPool::new(self.pes),
             outputs: Mutex::new(BTreeMap::new()),
             retired: AtomicU64::new(0),
             busy_ns: (0..self.pes).map(|_| AtomicU64::new(0)).collect(),
@@ -278,7 +272,7 @@ impl CharmRuntime {
         let factory = &factory;
         let result: Result<(), Vec<u64>> = std::thread::scope(|s| {
             // PE scheduler threads.
-            for (pe, rx) in receivers.into_iter().enumerate() {
+            for pe in 0..self.pes {
                 let shared = shared.clone();
                 let my: Vec<u64> = shared
                     .locations
@@ -287,7 +281,7 @@ impl CharmRuntime {
                     .filter(|(_, &p)| p == pe)
                     .map(|(&i, _)| i)
                     .collect();
-                s.spawn(move || pe_main(pe, rx, shared, my, factory));
+                s.spawn(move || pe_main(pe, shared, my, factory));
             }
 
             // Optional periodic load balancer.
@@ -321,9 +315,10 @@ impl CharmRuntime {
 
             // Tear down.
             shared.stopping.store(true, Ordering::Release);
-            for tx in &shared.inboxes {
-                let _ = tx.send(Directive::Stop);
+            for pe in 0..self.pes {
+                shared.pool.push_to(pe, Directive::Stop);
             }
+            shared.pool.close();
             if let Some(h) = lb_handle {
                 let _ = h.join();
             }
@@ -360,7 +355,6 @@ impl CharmRuntime {
 /// PE scheduler loop: message-driven execution of hosted chares.
 fn pe_main<F>(
     pe: usize,
-    rx: Receiver<Directive>,
     shared: Arc<Shared>,
     my_indices: Vec<u64>,
     factory: &F,
@@ -375,12 +369,9 @@ fn pe_main<F>(
     // state has not arrived yet.
     let mut waiting: HashMap<u64, Vec<(TaskId, Payload, u64)>> = HashMap::new();
 
-    loop {
-        let directive = match rx.recv_timeout(Duration::from_secs(60)) {
-            Ok(d) => d,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
+    // `recv` blocks on the pinned lane (and would steal floating work, but
+    // every directive is pinned); `None` means the pool closed under us.
+    while let Some(directive) = shared.pool.recv(pe) {
         match directive {
             Directive::Stop => return,
             Directive::Deliver { idx, src, payload, sent_ns } => {
@@ -397,8 +388,9 @@ fn pe_main<F>(
                         Some(p) => {
                             // Raced with an outbound migration: forward,
                             // keeping the original send stamp.
-                            let _ = shared.inboxes[p]
-                                .send(Directive::Deliver { idx, src, payload, sent_ns });
+                            shared
+                                .pool
+                                .push_to(p, Directive::Deliver { idx, src, payload, sent_ns });
                         }
                         None => {
                             // Chare already retired: late/duplicate message.
@@ -415,7 +407,7 @@ fn pe_main<F>(
                 if let Some(chare) = chares.remove(&idx) {
                     shared.locations.lock().insert(idx, to);
                     shared.migrations.fetch_add(1, Ordering::Relaxed);
-                    let _ = shared.inboxes[to].send(Directive::Install { idx, chare });
+                    shared.pool.push_to(to, Directive::Install { idx, chare });
                 }
                 // If the chare is not here (already migrated or retired),
                 // the directive is stale: ignore.
@@ -498,7 +490,7 @@ fn lb_main(shared: Arc<Shared>, pes: usize, total: u64, period: Duration) {
             locs.iter().find(|(_, &p)| p == max_pe).map(|(&i, _)| i)
         };
         if let Some(idx) = candidate {
-            let _ = shared.inboxes[max_pe].send(Directive::Migrate { idx, to: min_pe });
+            shared.pool.push_to(max_pe, Directive::Migrate { idx, to: min_pe });
         }
     }
 }

@@ -253,6 +253,24 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
+
+    /// Discard the contents but keep the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Copy the contents into an immutable [`Bytes`] and clear this
+    /// buffer, *retaining its capacity* for the next message.
+    ///
+    /// `Bytes` stores data as `Arc<[u8]>`, so [`freeze`](Self::freeze)
+    /// already copies out of the staging `Vec`; this pays the same copy
+    /// but keeps the staging allocation alive, which is what a send path
+    /// staging many messages through one buffer wants.
+    pub fn freeze_reuse(&mut self) -> Bytes {
+        let frozen = Bytes::copy_from_slice(&self.buf);
+        self.buf.clear();
+        frozen
+    }
 }
 
 impl Deref for BytesMut {

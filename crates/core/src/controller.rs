@@ -46,6 +46,8 @@ pub struct RunStats {
     pub local_messages: u64,
     /// What fault recovery cost this run (all zero on a clean run).
     pub recovery: RecoveryStats,
+    /// Fast-path efficiency counters (see [`PerfStats`]).
+    pub perf: PerfStats,
 }
 
 impl RunStats {
@@ -56,6 +58,7 @@ impl RunStats {
         self.remote_bytes += other.remote_bytes;
         self.local_messages += other.local_messages;
         self.recovery.merge(&other.recovery);
+        self.perf.merge(&other.perf);
     }
 }
 
@@ -63,12 +66,65 @@ impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} tasks, {} local messages, {} remote messages ({} bytes); {}",
+            "{} tasks, {} local messages, {} remote messages ({} bytes); {}; {}",
             self.tasks_executed,
             self.local_messages,
             self.remote_messages,
             self.remote_bytes,
-            self.recovery
+            self.recovery,
+            self.perf
+        )
+    }
+}
+
+/// Deterministic fast-path counters.
+///
+/// The build machines this repo is benchmarked on have a single core, so
+/// wall-clock timings are too noisy to gate on. These counters are exact
+/// and reproducible: they measure the *work the controller avoided* — how
+/// often the procedural graph was re-queried, how many payload handles
+/// were cloned for routing, how many deliveries had to allocate, and how
+/// well the transport coalesced envelopes. The perf smoke in `ci.sh`
+/// regresses on these, not on nanoseconds.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PerfStats {
+    /// Procedural `TaskGraph::task()` invocations (plan builds count each
+    /// task exactly once; a controller reusing a prebuilt plan counts 0).
+    pub task_queries: u64,
+    /// `Payload` handle clones made while routing outputs (refcount bumps,
+    /// not data copies — but each is avoidable bookkeeping).
+    pub payload_clones: u64,
+    /// Deliveries that allocated scratch memory to locate an input slot.
+    /// The plan-driven fast path keeps this at zero.
+    pub delivery_allocs: u64,
+    /// Envelopes handed to the transport channel (each is one channel
+    /// operation and one fault-injection sequence point).
+    pub envelopes_sent: u64,
+    /// Envelopes that carried more than one coalesced message.
+    pub batches_sent: u64,
+}
+
+impl PerfStats {
+    /// Fold another shard's counters into this one.
+    pub fn merge(&mut self, other: &PerfStats) {
+        self.task_queries += other.task_queries;
+        self.payload_clones += other.payload_clones;
+        self.delivery_allocs += other.delivery_allocs;
+        self.envelopes_sent += other.envelopes_sent;
+        self.batches_sent += other.batches_sent;
+    }
+}
+
+impl std::fmt::Display for PerfStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} task queries, {} payload clones, {} delivery allocs, {} envelopes ({} batched)",
+            self.task_queries,
+            self.payload_clones,
+            self.delivery_allocs,
+            self.envelopes_sent,
+            self.batches_sent
         )
     }
 }
@@ -293,7 +349,14 @@ mod tests {
         assert!(preflight(&g, &r, &init).is_ok());
     }
 
-    fn stats(te: u64, rm: u64, rb: u64, lm: u64, rec: (u64, u64, u64)) -> RunStats {
+    fn stats(
+        te: u64,
+        rm: u64,
+        rb: u64,
+        lm: u64,
+        rec: (u64, u64, u64),
+        perf: (u64, u64, u64, u64, u64),
+    ) -> RunStats {
         RunStats {
             tasks_executed: te,
             remote_messages: rm,
@@ -304,15 +367,22 @@ mod tests {
                 retransmits: rec.1,
                 duplicates_suppressed: rec.2,
             },
+            perf: PerfStats {
+                task_queries: perf.0,
+                payload_clones: perf.1,
+                delivery_allocs: perf.2,
+                envelopes_sent: perf.3,
+                batches_sent: perf.4,
+            },
         }
     }
 
     #[test]
     fn stats_merge_adds_counters() {
-        let mut a = stats(1, 2, 3, 4, (5, 6, 7));
-        let b = stats(10, 20, 30, 40, (50, 60, 70));
+        let mut a = stats(1, 2, 3, 4, (5, 6, 7), (8, 9, 10, 11, 12));
+        let b = stats(10, 20, 30, 40, (50, 60, 70), (80, 90, 100, 110, 120));
         a.merge(&b);
-        assert_eq!(a, stats(11, 22, 33, 44, (55, 66, 77)));
+        assert_eq!(a, stats(11, 22, 33, 44, (55, 66, 77), (88, 99, 110, 121, 132)));
     }
 
     /// Parse a `Display`ed RunStats back into counters.
@@ -322,14 +392,21 @@ mod tests {
             .filter(|s| !s.is_empty())
             .map(|s| s.parse().unwrap())
             .collect();
-        assert_eq!(nums.len(), 7, "display carries exactly the seven counters: {text}");
-        stats(nums[0], nums[2], nums[3], nums[1], (nums[4], nums[5], nums[6]))
+        assert_eq!(nums.len(), 12, "display carries exactly the twelve counters: {text}");
+        stats(
+            nums[0],
+            nums[2],
+            nums[3],
+            nums[1],
+            (nums[4], nums[5], nums[6]),
+            (nums[7], nums[8], nums[9], nums[10], nums[11]),
+        )
     }
 
     #[test]
     fn stats_merge_then_display_round_trips() {
-        let mut a = stats(5, 7, 1024, 11, (1, 0, 2));
-        let b = stats(3, 2, 16, 9, (0, 4, 1));
+        let mut a = stats(5, 7, 1024, 11, (1, 0, 2), (30, 12, 0, 6, 2));
+        let b = stats(3, 2, 16, 9, (0, 4, 1), (10, 5, 0, 3, 1));
         a.merge(&b);
         let shown = a.to_string();
         // Every merged counter appears, in a stable order, and survives a
@@ -338,13 +415,14 @@ mod tests {
         assert_eq!(
             shown,
             "8 tasks, 20 local messages, 9 remote messages (1040 bytes); \
-             1 retries, 4 retransmits, 3 duplicates suppressed"
+             1 retries, 4 retransmits, 3 duplicates suppressed; \
+             40 task queries, 17 payload clones, 0 delivery allocs, 9 envelopes (3 batched)"
         );
     }
 
     #[test]
     fn clean_recovery_is_detectable() {
         assert!(RecoveryStats::default().is_clean());
-        assert!(!stats(0, 0, 0, 0, (1, 0, 0)).recovery.is_clean());
+        assert!(!stats(0, 0, 0, 0, (1, 0, 0), (0, 0, 0, 0, 0)).recovery.is_clean());
     }
 }

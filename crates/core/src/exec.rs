@@ -35,8 +35,13 @@ impl InputBuffer {
     /// correct dataflow never does, so callers treat it as a protocol
     /// violation (e.g. a duplicated message).
     pub fn deliver(&mut self, src: TaskId, payload: Payload) -> bool {
-        for slot in self.task.input_slots_from(src).collect::<Vec<_>>() {
-            if self.slots[slot].is_none() {
+        // Indexed scan instead of `input_slots_from(..).collect()`: the
+        // iterator borrows `self.task` while the slot write needs `self`,
+        // and collecting to appease the borrow checker would allocate on
+        // every delivered payload — this is the hottest loop in every
+        // backend.
+        for slot in 0..self.task.incoming.len() {
+            if self.task.incoming[slot] == src && self.slots[slot].is_none() {
                 self.slots[slot] = Some(payload);
                 self.missing -= 1;
                 return true;

@@ -63,6 +63,7 @@ pub mod fault;
 pub mod graph;
 pub mod ids;
 pub mod payload;
+pub mod plan;
 pub mod proptest_lite;
 pub mod registry;
 pub mod rng;
@@ -77,8 +78,8 @@ pub use buffer::{Bytes, BytesMut};
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use compose::{ChainGraph, Link, OffsetGraph};
 pub use controller::{
-    preflight, Controller, ControllerError, InitialInputs, RecoveryStats, Result, RunReport,
-    RunStats,
+    preflight, Controller, ControllerError, InitialInputs, PerfStats, RecoveryStats, Result,
+    RunReport, RunStats,
 };
 pub use exec::InputBuffer;
 pub use fault::{
@@ -88,6 +89,7 @@ pub use dot::{to_dot, to_dot_styled, to_dot_subset};
 pub use graph::{assert_valid, validate, ExplicitGraph, GraphDefect, TaskGraph};
 pub use ids::{CallbackId, ShardId, TaskId};
 pub use payload::{Blob, Payload, PayloadData, PayloadError};
+pub use plan::{CountingGraph, PlanBuffer, PlanTask, Route, ShardPlan};
 pub use registry::{Callback, Registry};
 pub use serial::{canonical_outputs, run_serial, SerialController};
 pub use stats::{graph_stats, GraphStats};

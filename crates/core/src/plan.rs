@@ -1,0 +1,568 @@
+//! Shard-local execution plans: the steady-state fast path.
+//!
+//! The EDSL's graphs are *procedural* — [`TaskGraph::task`] computes a
+//! [`Task`] by value on every call, which is what makes million-task
+//! graphs free to "instantiate". But a controller that re-queries the
+//! graph per message (and re-clones the returned `Task`) pays that
+//! computation on the hot path, once per delivery. A [`ShardPlan`] is
+//! built **once** per run (or once ever, via
+//! `Controller::with_plan`-style reuse): it queries every task exactly
+//! one time and precomputes everything the steady state needs —
+//!
+//! * an interned task table (no more `Task` clones per query),
+//! * fan-in counts and per-source input-slot maps (no per-delivery
+//!   scratch allocation: see [`PlanBuffer::deliver`]),
+//! * per-edge destination shards (no `TaskMap` calls while routing),
+//! * the shard-local task lists and the input/output task sets that
+//!   controllers previously derived by scanning the whole id space.
+//!
+//! Controllers count their remaining procedural queries in
+//! [`PerfStats::task_queries`](crate::PerfStats) — a plan build
+//! contributes exactly `size()` queries, and a reused plan contributes
+//! zero — which is how the perf smoke proves the fast path stays fast
+//! on a machine too noisy for wall-clock gates.
+
+use std::collections::HashMap;
+
+use crate::controller::{ControllerError, InitialInputs, Result};
+use crate::graph::TaskGraph;
+use crate::ids::{CallbackId, ShardId, TaskId};
+use crate::payload::Payload;
+use crate::registry::Registry;
+use crate::sync::Counter;
+use crate::task::Task;
+use crate::taskmap::TaskMap;
+
+/// One precomputed edge destination: the receiving task and the shard it
+/// is mapped to. External outputs use [`TaskId::EXTERNAL`] as `dst`; their
+/// `shard` is meaningless and never read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Receiving task ([`TaskId::EXTERNAL`] for host outputs).
+    pub dst: TaskId,
+    /// Shard the receiver is placed on (undefined for external routes).
+    pub shard: ShardId,
+}
+
+impl Route {
+    /// Whether this route leaves the graph toward the host application.
+    pub fn is_external(&self) -> bool {
+        self.dst.is_external()
+    }
+}
+
+/// An interned task plus everything precomputed about its edges.
+#[derive(Debug, Clone)]
+pub struct PlanTask {
+    /// The task exactly as the procedural graph returned it. Backends that
+    /// need an owned [`Task`] (e.g. Legion task launchers) clone from here
+    /// instead of re-querying the graph.
+    pub task: Task,
+    /// Shard this task is placed on by the run's [`TaskMap`].
+    pub shard: ShardId,
+    /// Number of input slots fed by the host application.
+    pub external_inputs: usize,
+    /// Per distinct producer: the input-slot indices it feeds, in slot
+    /// order. Replaces the per-delivery
+    /// [`input_slots_from`](Task::input_slots_from) scan-and-collect.
+    pub sources: Vec<(TaskId, Vec<u32>)>,
+    /// Per output slot: the precomputed routes of every consumer.
+    pub routes: Vec<Vec<Route>>,
+}
+
+impl PlanTask {
+    /// The task's globally unique id.
+    pub fn id(&self) -> TaskId {
+        self.task.id
+    }
+
+    /// The callback executing this task.
+    pub fn callback(&self) -> CallbackId {
+        self.task.callback
+    }
+
+    /// Number of input slots.
+    pub fn fan_in(&self) -> usize {
+        self.task.fan_in()
+    }
+
+    /// Number of output slots.
+    pub fn fan_out(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+/// A fully precomputed execution plan for one `(graph, map)` pair.
+///
+/// Build once with [`ShardPlan::build`], then share (it is immutable) —
+/// typically as an `Arc<ShardPlan>` handed to a controller, so repeated
+/// runs of the same dataflow never touch the procedural graph again.
+#[derive(Debug)]
+pub struct ShardPlan {
+    tasks: Vec<PlanTask>,
+    index: HashMap<TaskId, u32>,
+    locals: Vec<Vec<u32>>,
+    inputs: Vec<u32>,
+    outputs: Vec<u32>,
+    callback_ids: Vec<CallbackId>,
+    num_shards: u32,
+    build_queries: u64,
+}
+
+impl ShardPlan {
+    /// Build a plan by querying every task of `graph` exactly once and
+    /// resolving every edge destination through `map`.
+    pub fn build(graph: &dyn TaskGraph, map: &dyn TaskMap) -> Self {
+        let num_shards = map.num_shards();
+        let mut tasks = Vec::with_capacity(graph.size());
+        let mut index = HashMap::with_capacity(graph.size());
+        let mut locals = vec![Vec::new(); num_shards as usize];
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut build_queries = 0u64;
+
+        for id in graph.ids() {
+            build_queries += 1;
+            let Some(task) = graph.task(id) else { continue };
+            let shard = map.shard(id);
+
+            let mut sources: Vec<(TaskId, Vec<u32>)> = Vec::new();
+            for (slot, &src) in task.incoming.iter().enumerate() {
+                match sources.iter_mut().find(|(s, _)| *s == src) {
+                    Some((_, slots)) => slots.push(slot as u32),
+                    None => sources.push((src, vec![slot as u32])),
+                }
+            }
+            let external_inputs =
+                task.incoming.iter().filter(|t| t.is_external()).count();
+
+            let routes: Vec<Vec<Route>> = task
+                .outgoing
+                .iter()
+                .map(|dsts| {
+                    dsts.iter()
+                        .map(|&dst| Route {
+                            dst,
+                            shard: if dst.is_external() {
+                                ShardId(u32::MAX)
+                            } else {
+                                map.shard(dst)
+                            },
+                        })
+                        .collect()
+                })
+                .collect();
+
+            let ix = tasks.len() as u32;
+            index.insert(id, ix);
+            if (shard.0 as usize) < locals.len() {
+                locals[shard.0 as usize].push(ix);
+            }
+            if external_inputs > 0 {
+                inputs.push(ix);
+            }
+            if routes.iter().flatten().any(Route::is_external) {
+                outputs.push(ix);
+            }
+            tasks.push(PlanTask { task, shard, external_inputs, sources, routes });
+        }
+
+        ShardPlan {
+            tasks,
+            index,
+            locals,
+            inputs,
+            outputs,
+            callback_ids: graph.callback_ids(),
+            num_shards,
+            build_queries,
+        }
+    }
+
+    /// Number of interned tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the plan holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The interned task at plan index `ix`.
+    pub fn task(&self, ix: u32) -> &PlanTask {
+        &self.tasks[ix as usize]
+    }
+
+    /// All interned tasks, in plan-index order (ascending id order as
+    /// produced by the graph's `ids()`).
+    pub fn tasks(&self) -> &[PlanTask] {
+        &self.tasks
+    }
+
+    /// Plan index of a task id, if the id exists in the graph.
+    pub fn index_of(&self, id: TaskId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// The interned task with the given id.
+    pub fn task_by_id(&self, id: TaskId) -> Option<&PlanTask> {
+        self.index_of(id).map(|ix| self.task(ix))
+    }
+
+    /// Plan indices of the tasks placed on `shard`.
+    pub fn local(&self, shard: ShardId) -> &[u32] {
+        self.locals.get(shard.0 as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Plan indices of tasks with host-supplied inputs.
+    pub fn input_tasks(&self) -> &[u32] {
+        &self.inputs
+    }
+
+    /// Plan indices of tasks producing host-consumed outputs.
+    pub fn output_tasks(&self) -> &[u32] {
+        &self.outputs
+    }
+
+    /// Callback ids the graph advertised at build time.
+    pub fn callback_ids(&self) -> &[CallbackId] {
+        &self.callback_ids
+    }
+
+    /// Shard count of the map the plan was built with.
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// How many procedural `task()` queries building this plan cost. A
+    /// controller that builds the plan itself adds this to
+    /// [`PerfStats::task_queries`](crate::PerfStats); one handed a
+    /// prebuilt plan adds nothing.
+    pub fn build_queries(&self) -> u64 {
+        self.build_queries
+    }
+
+    /// Plan-based preflight: same checks as
+    /// [`preflight`](crate::controller::preflight) — callback bindings and
+    /// external-input arity — but against the interned table, with zero
+    /// graph queries.
+    pub fn preflight(&self, registry: &Registry, initial: &InitialInputs) -> Result<()> {
+        let missing = registry.missing(&self.callback_ids);
+        if !missing.is_empty() {
+            return Err(ControllerError::UnboundCallbacks(missing));
+        }
+        for &ix in &self.inputs {
+            let pt = &self.tasks[ix as usize];
+            let got = initial.get(&pt.task.id).map_or(0, Vec::len);
+            if pt.external_inputs != got {
+                return Err(ControllerError::BadInitialInputs {
+                    task: pt.task.id,
+                    expected: pt.external_inputs,
+                    got,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A deterministic topological execution order: Kahn's algorithm with
+    /// smallest-id-first tie-breaking, as positions (`id -> rank`). Used
+    /// by statically scheduled backends; derived entirely from the plan.
+    pub fn static_schedule(&self) -> HashMap<TaskId, usize> {
+        let mut indegree: HashMap<TaskId, usize> = self
+            .tasks
+            .iter()
+            .map(|pt| {
+                let internal =
+                    pt.task.incoming.iter().filter(|t| !t.is_external()).count();
+                (pt.task.id, internal)
+            })
+            .collect();
+        let mut frontier: Vec<TaskId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        frontier.sort_unstable();
+
+        let mut order = HashMap::with_capacity(self.tasks.len());
+        let mut pos = 0usize;
+        while let Some(id) = frontier.first().copied() {
+            frontier.remove(0);
+            order.insert(id, pos);
+            pos += 1;
+            if let Some(pt) = self.task_by_id(id) {
+                for route in pt.routes.iter().flatten() {
+                    if route.is_external() {
+                        continue;
+                    }
+                    if let Some(d) = indegree.get_mut(&route.dst) {
+                        *d -= 1;
+                        if *d == 0 {
+                            let at = frontier
+                                .binary_search(&route.dst)
+                                .unwrap_or_else(|e| e);
+                            frontier.insert(at, route.dst);
+                        }
+                    }
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Input-slot buffer for one pending task, driven by a [`PlanTask`]'s
+/// precomputed source map instead of the task's raw edge list.
+///
+/// Unlike [`InputBuffer`](crate::exec::InputBuffer) it does not own a
+/// [`Task`] — the task stays interned in the plan — so creating one per
+/// pending task clones nothing, and [`PlanBuffer::deliver`] allocates
+/// nothing.
+#[derive(Debug)]
+pub struct PlanBuffer {
+    ix: u32,
+    slots: Vec<Option<Payload>>,
+    missing: usize,
+}
+
+impl PlanBuffer {
+    /// Create an empty buffer for the plan task at index `ix`.
+    pub fn new(plan: &ShardPlan, ix: u32) -> Self {
+        let n = plan.task(ix).fan_in();
+        PlanBuffer { ix, slots: (0..n).map(|_| None).collect(), missing: n }
+    }
+
+    /// Plan index of the buffered task.
+    pub fn ix(&self) -> u32 {
+        self.ix
+    }
+
+    /// Deliver a payload from `src` into the first free slot wired to it.
+    /// `pt` must be the plan task this buffer was created for. Returns
+    /// `false` if no such slot exists or all are filled (a duplicate or
+    /// misrouted message).
+    pub fn deliver(&mut self, pt: &PlanTask, src: TaskId, payload: Payload) -> bool {
+        debug_assert_eq!(
+            pt.fan_in(),
+            self.slots.len(),
+            "PlanBuffer used with a foreign PlanTask"
+        );
+        let Some((_, slots)) = pt.sources.iter().find(|(s, _)| *s == src) else {
+            return false;
+        };
+        for &slot in slots {
+            let cell = &mut self.slots[slot as usize];
+            if cell.is_none() {
+                *cell = Some(payload);
+                self.missing -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether all input slots are filled.
+    pub fn ready(&self) -> bool {
+        self.missing == 0
+    }
+
+    /// Number of still-empty slots.
+    pub fn missing(&self) -> usize {
+        self.missing
+    }
+
+    /// Consume the buffer, returning the inputs in slot order.
+    ///
+    /// # Panics
+    /// If the buffer is not [`ready`](Self::ready).
+    pub fn take(self) -> Vec<Payload> {
+        assert!(self.missing == 0, "take() with {} inputs missing", self.missing);
+        self.slots.into_iter().map(|p| p.expect("ready buffer")).collect()
+    }
+}
+
+/// A [`TaskGraph`] wrapper counting every procedural `task()` query.
+///
+/// Used by benchmarks to measure the query cost of the legacy
+/// (plan-free) call pattern — `preflight` + per-shard `local_graph` +
+/// whole-graph scans — against the same graph the fast path plans over.
+pub struct CountingGraph<'g> {
+    inner: &'g dyn TaskGraph,
+    queries: Counter,
+}
+
+impl<'g> CountingGraph<'g> {
+    /// Wrap `inner`, starting the query count at zero.
+    pub fn new(inner: &'g dyn TaskGraph) -> Self {
+        CountingGraph { inner, queries: Counter::new(0) }
+    }
+
+    /// Number of `task()` calls observed so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.get()
+    }
+}
+
+impl TaskGraph for CountingGraph<'_> {
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn task(&self, id: TaskId) -> Option<Task> {
+        self.queries.next();
+        self.inner.task(id)
+    }
+
+    fn callback_ids(&self) -> Vec<CallbackId> {
+        self.inner.callback_ids()
+    }
+
+    fn ids(&self) -> Vec<TaskId> {
+        self.inner.ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExplicitGraph;
+    use crate::payload::Blob;
+    use crate::taskmap::ModuloMap;
+
+    /// A diamond: 0 -> {1, 2} -> 3, with external input at 0 and external
+    /// output at 3; task 3 takes both inputs from slot-ordered producers.
+    fn diamond() -> ExplicitGraph {
+        let mut t0 = Task::new(TaskId(0), CallbackId(0));
+        t0.incoming = vec![TaskId::EXTERNAL];
+        t0.outgoing = vec![vec![TaskId(1), TaskId(2)]];
+        let mut t1 = Task::new(TaskId(1), CallbackId(1));
+        t1.incoming = vec![TaskId(0)];
+        t1.outgoing = vec![vec![TaskId(3)]];
+        let mut t2 = Task::new(TaskId(2), CallbackId(1));
+        t2.incoming = vec![TaskId(0)];
+        t2.outgoing = vec![vec![TaskId(3)]];
+        let mut t3 = Task::new(TaskId(3), CallbackId(2));
+        t3.incoming = vec![TaskId(1), TaskId(2)];
+        t3.outgoing = vec![vec![TaskId::EXTERNAL]];
+        ExplicitGraph::new(
+            vec![t0, t1, t2, t3],
+            vec![CallbackId(0), CallbackId(1), CallbackId(2)],
+        )
+    }
+
+    #[test]
+    fn build_queries_each_task_once() {
+        let g = diamond();
+        let counting = CountingGraph::new(&g);
+        let map = ModuloMap::new(2, 4);
+        let plan = ShardPlan::build(&counting, &map);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(counting.queries(), 4);
+        assert_eq!(plan.build_queries(), 4);
+    }
+
+    #[test]
+    fn routes_carry_destination_shards() {
+        let g = diamond();
+        let map = ModuloMap::new(2, 4);
+        let plan = ShardPlan::build(&g, &map);
+        let t0 = plan.task_by_id(TaskId(0)).unwrap();
+        assert_eq!(t0.routes.len(), 1);
+        assert_eq!(
+            t0.routes[0],
+            vec![
+                Route { dst: TaskId(1), shard: ShardId(1) },
+                Route { dst: TaskId(2), shard: ShardId(0) },
+            ]
+        );
+        let t3 = plan.task_by_id(TaskId(3)).unwrap();
+        assert!(t3.routes[0][0].is_external());
+    }
+
+    #[test]
+    fn locals_and_io_sets_match_the_map() {
+        let g = diamond();
+        let map = ModuloMap::new(2, 4);
+        let plan = ShardPlan::build(&g, &map);
+        let ids = |ixs: &[u32]| -> Vec<u64> {
+            ixs.iter().map(|&ix| plan.task(ix).id().0).collect()
+        };
+        assert_eq!(ids(plan.local(ShardId(0))), vec![0, 2]);
+        assert_eq!(ids(plan.local(ShardId(1))), vec![1, 3]);
+        assert_eq!(ids(plan.input_tasks()), vec![0]);
+        assert_eq!(ids(plan.output_tasks()), vec![3]);
+        assert_eq!(plan.num_shards(), 2);
+    }
+
+    #[test]
+    fn plan_buffer_fills_in_slot_order_per_source() {
+        let mut t = Task::new(TaskId(9), CallbackId(0));
+        t.incoming = vec![TaskId(1), TaskId(2), TaskId(1)];
+        let g = ExplicitGraph::new(vec![t], vec![CallbackId(0)]);
+        let plan = ShardPlan::build(&g, &ModuloMap::new(1, 10));
+        let ix = plan.index_of(TaskId(9)).unwrap();
+        let pt = plan.task(ix);
+
+        let mut b = PlanBuffer::new(&plan, ix);
+        assert!(!b.ready());
+        assert!(b.deliver(pt, TaskId(1), Payload::wrap(Blob(vec![10]))));
+        assert!(b.deliver(pt, TaskId(1), Payload::wrap(Blob(vec![11]))));
+        assert!(!b.deliver(pt, TaskId(1), Payload::wrap(Blob(vec![12]))));
+        assert!(!b.deliver(pt, TaskId(5), Payload::wrap(Blob(vec![]))));
+        assert!(b.deliver(pt, TaskId(2), Payload::wrap(Blob(vec![20]))));
+        assert!(b.ready());
+        let vals: Vec<u8> =
+            b.take().iter().map(|p| p.extract::<Blob>().unwrap().0[0]).collect();
+        assert_eq!(vals, vec![10, 20, 11]);
+    }
+
+    #[test]
+    fn plan_preflight_matches_graph_preflight() {
+        let g = diamond();
+        let plan = ShardPlan::build(&g, &ModuloMap::new(1, 4));
+        let mut reg = Registry::new();
+        reg.register(CallbackId(0), |i, _| i);
+        reg.register(CallbackId(1), |i, _| i);
+
+        // Unbound callback 2.
+        let err = plan.preflight(&reg, &InitialInputs::new()).unwrap_err();
+        assert!(matches!(err, ControllerError::UnboundCallbacks(v) if v == vec![CallbackId(2)]));
+
+        reg.register(CallbackId(2), |i, _| i);
+        let err = plan.preflight(&reg, &InitialInputs::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            ControllerError::BadInitialInputs { task, expected: 1, got: 0 } if task == TaskId(0)
+        ));
+
+        let mut init = InitialInputs::new();
+        init.insert(TaskId(0), vec![Payload::wrap(Blob(vec![]))]);
+        assert!(plan.preflight(&reg, &init).is_ok());
+    }
+
+    #[test]
+    fn static_schedule_is_topological_and_deterministic() {
+        let g = diamond();
+        let plan = ShardPlan::build(&g, &ModuloMap::new(2, 4));
+        let order = plan.static_schedule();
+        assert_eq!(order.len(), 4);
+        assert!(order[&TaskId(0)] < order[&TaskId(1)]);
+        assert!(order[&TaskId(0)] < order[&TaskId(2)]);
+        assert!(order[&TaskId(1)] < order[&TaskId(3)]);
+        assert!(order[&TaskId(2)] < order[&TaskId(3)]);
+        // Smallest-id tie-break between the two middle tasks.
+        assert!(order[&TaskId(1)] < order[&TaskId(2)]);
+    }
+
+    #[test]
+    fn zero_fan_in_buffer_is_immediately_ready() {
+        let t = Task::new(TaskId(0), CallbackId(0));
+        let g = ExplicitGraph::new(vec![t], vec![CallbackId(0)]);
+        let plan = ShardPlan::build(&g, &ModuloMap::new(1, 1));
+        let b = PlanBuffer::new(&plan, 0);
+        assert!(b.ready());
+        assert!(b.take().is_empty());
+    }
+}

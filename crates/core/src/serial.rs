@@ -10,14 +10,14 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use crate::controller::{
-    preflight, Controller, ControllerError, InitialInputs, Result, RunReport, RunStats,
+    Controller, ControllerError, InitialInputs, Result, RunReport, RunStats,
 };
 use crate::fault::{catch_invoke, MAX_TASK_RETRIES};
 use crate::graph::TaskGraph;
 use crate::ids::TaskId;
 use crate::payload::Payload;
+use crate::plan::{PlanBuffer, ShardPlan};
 use crate::registry::Registry;
-use crate::task::Task;
 use crate::taskmap::TaskMap;
 use crate::trace::{now_ns, SpanKind, TraceEvent, TraceSink};
 
@@ -27,46 +27,22 @@ use crate::trace::{now_ns, SpanKind, TraceEvent, TraceSink};
 /// order of readiness (ties broken by task id at start-up), which yields a
 /// valid topological order of the dataflow.
 #[derive(Debug, Default, Clone)]
-pub struct SerialController;
+pub struct SerialController {
+    plan: Option<Arc<ShardPlan>>,
+}
 
 impl SerialController {
     /// Create a serial controller.
     pub fn new() -> Self {
-        SerialController
-    }
-}
-
-/// Mutable per-task state during a run. Shared with the in-process backends
-/// via `pub(crate)` would be overreach; each backend keeps its own variant
-/// tuned to its execution model.
-struct TaskState {
-    task: Task,
-    /// One slot per input; filled as payloads arrive.
-    inputs: Vec<Option<Payload>>,
-    missing: usize,
-}
-
-impl TaskState {
-    fn new(task: Task) -> Self {
-        let n = task.fan_in();
-        TaskState { task, inputs: (0..n).map(|_| None).collect(), missing: n }
+        SerialController::default()
     }
 
-    /// Fill the first empty slot wired to `src`; returns false if no slot
-    /// accepts the payload (graph/driver bug).
-    fn deliver(&mut self, src: TaskId, payload: Payload) -> bool {
-        for slot in self.task.input_slots_from(src).collect::<Vec<_>>() {
-            if self.inputs[slot].is_none() {
-                self.inputs[slot] = Some(payload);
-                self.missing -= 1;
-                return true;
-            }
-        }
-        false
-    }
-
-    fn ready(&self) -> bool {
-        self.missing == 0
+    /// Reuse a prebuilt [`ShardPlan`] instead of building one per run.
+    /// Repeated runs of the same dataflow then make zero procedural
+    /// `task()` queries.
+    pub fn with_plan(mut self, plan: Arc<ShardPlan>) -> Self {
+        self.plan = Some(plan);
+        self
     }
 }
 
@@ -74,20 +50,32 @@ impl Controller for SerialController {
     fn run_traced(
         &mut self,
         graph: &dyn TaskGraph,
-        _map: &dyn TaskMap,
+        map: &dyn TaskMap,
         registry: &Registry,
         initial: InitialInputs,
         sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
-        preflight(graph, registry, &initial)?;
+        let mut stats = RunStats::default();
+        let plan = match &self.plan {
+            Some(p) => p.clone(),
+            None => {
+                let p = Arc::new(ShardPlan::build(graph, map));
+                stats.perf.task_queries += p.build_queries();
+                p
+            }
+        };
+        plan.preflight(registry, &initial)?;
         let tracing = sink.enabled();
 
-        let mut ids = graph.ids();
+        let mut ids: Vec<TaskId> = plan.tasks().iter().map(|pt| pt.id()).collect();
         ids.sort();
 
-        let mut states: HashMap<TaskId, TaskState> = ids
+        let mut states: HashMap<TaskId, PlanBuffer> = ids
             .iter()
-            .filter_map(|&id| graph.task(id).map(|t| (id, TaskState::new(t))))
+            .map(|&id| {
+                let ix = plan.index_of(id).expect("plan indexes its own ids");
+                (id, PlanBuffer::new(&plan, ix))
+            })
             .collect();
 
         // Deliver external inputs, then seed the ready queue in id order so
@@ -96,8 +84,10 @@ impl Controller for SerialController {
             let st = states.get_mut(&id).ok_or_else(|| {
                 ControllerError::Runtime(format!("initial input for unknown task {id}"))
             })?;
+            let pt = plan.task(st.ix());
             for p in payloads {
-                if !st.deliver(TaskId::EXTERNAL, p.clone()) {
+                stats.perf.payload_clones += 1;
+                if !st.deliver(pt, TaskId::EXTERNAL, p.clone()) {
                     return Err(ControllerError::Runtime(format!(
                         "too many initial inputs for task {id}"
                     )));
@@ -115,21 +105,20 @@ impl Controller for SerialController {
         }
 
         let mut report = RunReport::default();
-        let mut stats = RunStats::default();
 
         while let Some(id) = queue.pop_front() {
             let st = states.remove(&id).expect("queued task has state");
+            let pt = plan.task(st.ix());
             let exec_start = if tracing { now_ns() } else { 0 };
             if tracing {
                 let ready = ready_at.remove(&id).unwrap_or(exec_start);
                 sink.record(
                     TraceEvent::span(SpanKind::QueueWait, ready, exec_start, 0, 0)
-                        .with_task(id, st.task.callback),
+                        .with_task(id, pt.callback()),
                 );
             }
-            let inputs: Vec<Payload> =
-                st.inputs.into_iter().map(|p| p.expect("ready task has all inputs")).collect();
-            let cb = registry.get(st.task.callback).expect("preflight checked bindings");
+            let inputs: Vec<Payload> = st.take();
+            let cb = registry.get(pt.callback()).expect("preflight checked bindings");
             // Tasks are idempotent, so a panicking callback is caught and
             // re-executed from the same (retained) inputs instead of
             // unwinding through the run loop. Failed attempts emit their
@@ -138,12 +127,13 @@ impl Controller for SerialController {
             let outputs = loop {
                 attempts += 1;
                 let cb_start = if tracing { now_ns() } else { 0 };
+                stats.perf.payload_clones += inputs.len() as u64;
                 match catch_invoke(cb, inputs.clone(), id) {
                     Ok(outs) => {
                         if tracing {
                             sink.record(
                                 TraceEvent::span(SpanKind::Callback, cb_start, now_ns(), 0, 0)
-                                    .with_task(id, st.task.callback),
+                                    .with_task(id, pt.callback()),
                             );
                         }
                         break outs;
@@ -153,11 +143,11 @@ impl Controller for SerialController {
                             let end = now_ns();
                             sink.record(
                                 TraceEvent::span(SpanKind::Callback, cb_start, end, 0, 0)
-                                    .with_task(id, st.task.callback),
+                                    .with_task(id, pt.callback()),
                             );
                             sink.record(
                                 TraceEvent::span(SpanKind::TaskExec, cb_start, end, 0, 0)
-                                    .with_task(id, st.task.callback),
+                                    .with_task(id, pt.callback()),
                             );
                         }
                         if attempts > MAX_TASK_RETRIES {
@@ -169,17 +159,19 @@ impl Controller for SerialController {
             };
             stats.tasks_executed += 1;
 
-            if outputs.len() != st.task.fan_out() {
+            if outputs.len() != pt.fan_out() {
                 return Err(ControllerError::BadOutputArity {
                     task: id,
-                    expected: st.task.fan_out(),
+                    expected: pt.fan_out(),
                     got: outputs.len(),
                 });
             }
 
             for (slot, payload) in outputs.into_iter().enumerate() {
-                for &dst in &st.task.outgoing[slot] {
+                for route in &pt.routes[slot] {
+                    let dst = route.dst;
                     if dst.is_external() {
+                        stats.perf.payload_clones += 1;
                         report.outputs.entry(id).or_insert_with(Vec::new).push(payload.clone());
                         continue;
                     }
@@ -189,7 +181,9 @@ impl Controller for SerialController {
                             "task {id} sent to unknown or already-executed task {dst}"
                         ))
                     })?;
-                    if !dst_state.deliver(id, payload.clone()) {
+                    let dst_pt = plan.task(dst_state.ix());
+                    stats.perf.payload_clones += 1;
+                    if !dst_state.deliver(dst_pt, id, payload.clone()) {
                         return Err(ControllerError::Runtime(format!(
                             "task {dst} has no free input slot for producer {id}"
                         )));
@@ -199,7 +193,7 @@ impl Controller for SerialController {
                         // In-memory move: no serialization, bytes = 0.
                         sink.record(
                             TraceEvent::span(SpanKind::MsgSend, send_start, now_ns(), 0, 0)
-                                .with_task(id, st.task.callback)
+                                .with_task(id, pt.callback())
                                 .with_message(dst, 0),
                         );
                     }
@@ -215,7 +209,7 @@ impl Controller for SerialController {
             if tracing {
                 sink.record(
                     TraceEvent::span(SpanKind::TaskExec, exec_start, now_ns(), 0, 0)
-                        .with_task(id, st.task.callback),
+                        .with_task(id, pt.callback()),
                 );
             }
         }
@@ -263,6 +257,7 @@ mod tests {
     use crate::graph::ExplicitGraph;
     use crate::ids::CallbackId;
     use crate::payload::Blob;
+    use crate::task::Task;
 
     /// Diamond: 0 -> {1, 2} -> 3, external in at 0, external out at 3.
     fn diamond() -> ExplicitGraph {

@@ -198,6 +198,216 @@ impl Condvar {
     }
 }
 
+/// Per-worker double-ended work queues with stealing.
+///
+/// Each worker owns two lanes: a *pinned* lane whose items only that
+/// worker may pop (work with affinity — e.g. a chare bound to its PE),
+/// and a *floating* lane that idle peers may steal from the back of.
+/// [`WorkDeques::pop`] serves the worker's own lanes in FIFO order first
+/// and steals round-robin from the other workers' floating lanes when
+/// both are empty, so a stalled or killed worker cannot strand floating
+/// work.
+///
+/// The structure itself is not synchronized — embed it in a
+/// [`Mutex`]-guarded scheduler state (as the Legion runtime does) or use
+/// the blocking [`WorkPool`] wrapper.
+#[derive(Debug)]
+pub struct WorkDeques<T> {
+    pinned: Vec<std::collections::VecDeque<T>>,
+    floating: Vec<std::collections::VecDeque<T>>,
+    next: usize,
+    len: usize,
+    steals: u64,
+}
+
+impl<T> WorkDeques<T> {
+    /// Create lanes for `workers` workers (at least one).
+    pub fn new(workers: usize) -> Self {
+        let n = workers.max(1);
+        WorkDeques {
+            pinned: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            floating: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            next: 0,
+            len: 0,
+            steals: 0,
+        }
+    }
+
+    /// Number of workers the lanes were sized for.
+    pub fn workers(&self) -> usize {
+        self.floating.len()
+    }
+
+    /// Queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Completed steals (pops that took another worker's floating work).
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Enqueue stealable work, distributed round-robin over the floating
+    /// lanes.
+    pub fn push(&mut self, item: T) {
+        let w = self.next;
+        self.next = (self.next + 1) % self.floating.len();
+        self.floating[w].push_back(item);
+        self.len += 1;
+    }
+
+    /// Enqueue work pinned to `worker`; no other worker will pop it.
+    pub fn push_to(&mut self, worker: usize, item: T) {
+        let w = worker % self.pinned.len();
+        self.pinned[w].push_back(item);
+        self.len += 1;
+    }
+
+    /// Dequeue work for `worker`: its own pinned lane first, then its own
+    /// floating lane (both FIFO), then steal from the back of the other
+    /// workers' floating lanes.
+    pub fn pop(&mut self, worker: usize) -> Option<T> {
+        let n = self.floating.len();
+        let w = worker % n;
+        if let Some(item) = self.pinned[w].pop_front() {
+            self.len -= 1;
+            return Some(item);
+        }
+        if let Some(item) = self.floating[w].pop_front() {
+            self.len -= 1;
+            return Some(item);
+        }
+        for off in 1..n {
+            let victim = (w + off) % n;
+            if let Some(item) = self.floating[victim].pop_back() {
+                self.len -= 1;
+                self.steals += 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Items still pinned to `worker` (stealable by nobody).
+    pub fn pinned_len(&self, worker: usize) -> usize {
+        self.pinned[worker % self.pinned.len()].len()
+    }
+}
+
+/// A blocking work-stealing pool: [`WorkDeques`] + [`Mutex`] +
+/// [`Condvar`], shareable across threads by cloning the handle.
+///
+/// Replaces the "one shared channel, every worker clones the receiver"
+/// pattern: consumers call [`WorkPool::recv`] with their worker index and
+/// get their pinned work first, then floating work, then steal. `recv`
+/// returns `None` once the pool is [`close`](WorkPool::close)d and
+/// drained of anything the worker may take.
+#[derive(Debug)]
+pub struct WorkPool<T> {
+    inner: std::sync::Arc<PoolInner<T>>,
+}
+
+#[derive(Debug)]
+struct PoolInner<T> {
+    state: Mutex<PoolState<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct PoolState<T> {
+    deques: WorkDeques<T>,
+    closed: bool,
+}
+
+impl<T> Clone for WorkPool<T> {
+    fn clone(&self) -> Self {
+        WorkPool { inner: self.inner.clone() }
+    }
+}
+
+impl<T> WorkPool<T> {
+    /// Create a pool with lanes for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        WorkPool {
+            inner: std::sync::Arc::new(PoolInner {
+                state: Mutex::new(PoolState { deques: WorkDeques::new(workers), closed: false }),
+                available: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Enqueue stealable work. Items pushed after [`close`](Self::close)
+    /// are dropped.
+    pub fn push(&self, item: T) {
+        let mut st = self.inner.state.lock();
+        if st.closed {
+            return;
+        }
+        st.deques.push(item);
+        drop(st);
+        self.inner.available.notify_all();
+    }
+
+    /// Enqueue work pinned to `worker`. Items pushed after
+    /// [`close`](Self::close) are dropped.
+    pub fn push_to(&self, worker: usize, item: T) {
+        let mut st = self.inner.state.lock();
+        if st.closed {
+            return;
+        }
+        st.deques.push_to(worker, item);
+        drop(st);
+        self.inner.available.notify_all();
+    }
+
+    /// Block until work is available for `worker` (own lanes or a steal),
+    /// or the pool is closed. Returns `None` only when closed and nothing
+    /// remains for this worker to take.
+    pub fn recv(&self, worker: usize) -> Option<T> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(item) = st.deques.pop(worker) {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            // Belt-and-suspenders timeout: a worker stuck here despite
+            // pending floating work elsewhere re-checks for steals even
+            // if a notification was lost.
+            self.inner.available.wait_timeout(&mut st, Duration::from_millis(50));
+        }
+    }
+
+    /// Close the pool: wake every blocked worker; `recv` drains what is
+    /// left and then returns `None`.
+    pub fn close(&self) {
+        self.inner.state.lock().closed = true;
+        self.inner.available.notify_all();
+    }
+
+    /// Completed steals so far.
+    pub fn steals(&self) -> u64 {
+        self.inner.state.lock().deques.steals()
+    }
+
+    /// Queued items across all lanes right now.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().deques.len()
+    }
+
+    /// Whether the pool currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +494,116 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert_eq!(*m.try_lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn deques_serve_own_lanes_fifo_before_stealing() {
+        let mut d = WorkDeques::new(2);
+        // Round-robin floating pushes land on lanes 0, 1, 0.
+        d.push("f0");
+        d.push("f1");
+        d.push("f2");
+        d.push_to(0, "p0a");
+        d.push_to(0, "p0b");
+        assert_eq!(d.len(), 5);
+
+        // Worker 0: pinned lane FIFO first, then its own floating lane.
+        assert_eq!(d.pop(0), Some("p0a"));
+        assert_eq!(d.pop(0), Some("p0b"));
+        assert_eq!(d.pop(0), Some("f0"));
+        assert_eq!(d.pop(0), Some("f2"));
+        assert_eq!(d.steals(), 0);
+
+        // Worker 0 steals worker 1's floating work once its lanes drain.
+        assert_eq!(d.pop(0), Some("f1"));
+        assert_eq!(d.steals(), 1);
+        assert_eq!(d.pop(0), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn deques_never_steal_pinned_work() {
+        let mut d = WorkDeques::new(2);
+        d.push_to(1, "only-for-1");
+        assert_eq!(d.pop(0), None);
+        assert_eq!(d.pinned_len(1), 1);
+        assert_eq!(d.pop(1), Some("only-for-1"));
+        assert_eq!(d.steals(), 0);
+    }
+
+    #[test]
+    fn steals_take_from_the_back() {
+        let mut d = WorkDeques::new(2);
+        d.push(1); // lane 0
+        d.push(2); // lane 1
+        d.push(3); // lane 0
+        d.push(4); // lane 1
+        // Worker 0 drains its own lane front-first...
+        assert_eq!(d.pop(0), Some(1));
+        assert_eq!(d.pop(0), Some(3));
+        // ...then steals lane 1's *back* (classic deque discipline: the
+        // owner keeps the cache-warm front, thieves take the cold tail).
+        assert_eq!(d.pop(0), Some(4));
+        assert_eq!(d.pop(0), Some(2));
+        assert_eq!(d.steals(), 2);
+    }
+
+    #[test]
+    fn pool_distributes_and_drains_across_threads() {
+        let pool: WorkPool<u64> = WorkPool::new(3);
+        let consumed = Arc::new(Counter::new(0));
+        let total = Arc::new(Counter::new(0));
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let pool = pool.clone();
+                let consumed = consumed.clone();
+                let total = total.clone();
+                s.spawn(move || {
+                    while let Some(v) = pool.recv(w) {
+                        consumed.next();
+                        total.fetch_add(v);
+                    }
+                });
+            }
+            for v in 0..100u64 {
+                pool.push(v);
+            }
+            // Pinned items reach their worker too.
+            pool.push_to(1, 1000);
+            while pool.len() > 0 {
+                std::thread::yield_now();
+            }
+            pool.close();
+        });
+        assert_eq!(consumed.get(), 101);
+        assert_eq!(total.get(), (0..100).sum::<u64>() + 1000);
+    }
+
+    #[test]
+    fn pool_stalled_worker_cannot_strand_floating_work() {
+        // Worker 1 never polls (simulating a killed worker); worker 0 must
+        // steal the floating work parked on lane 1.
+        let pool: WorkPool<u32> = WorkPool::new(2);
+        for v in 0..10 {
+            pool.push(v);
+        }
+        let consumer = {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = pool.recv(0) {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        while !pool.is_empty() {
+            std::thread::yield_now();
+        }
+        pool.close();
+        let mut got = consumer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<u32>>());
+        assert!(pool.steals() >= 5, "lane-1 items must have been stolen");
     }
 }

@@ -20,8 +20,8 @@ use std::time::Duration;
 
 use babelflow_core::trace::TraceSink;
 use babelflow_core::{
-    preflight, Controller, ControllerError, InitialInputs, Registry, Result, RunReport, TaskGraph,
-    TaskId, TaskMap,
+    Controller, ControllerError, InitialInputs, Registry, Result, RunReport, ShardPlan, Task,
+    TaskGraph, TaskId, TaskMap,
 };
 
 use crate::runtime::{LegionRuntime, WaitOutcome};
@@ -34,17 +34,26 @@ pub struct LegionIndexLaunchController {
     pub workers: usize,
     /// Stall-detection timeout.
     pub timeout: Duration,
+    /// Prebuilt execution plan. When absent, one is built (and its graph
+    /// queries charged to `PerfStats::task_queries`) on each run.
+    pub plan: Option<Arc<ShardPlan>>,
 }
 
 impl LegionIndexLaunchController {
     /// Controller executing on `workers` threads.
     pub fn new(workers: usize) -> Self {
-        LegionIndexLaunchController { workers, timeout: Duration::from_secs(10) }
+        LegionIndexLaunchController { workers, timeout: Duration::from_secs(10), plan: None }
     }
 
     /// Set the stall-detection timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Execute from a prebuilt plan instead of querying the graph.
+    pub fn with_plan(mut self, plan: Arc<ShardPlan>) -> Self {
+        self.plan = Some(plan);
         self
     }
 }
@@ -53,8 +62,20 @@ impl LegionIndexLaunchController {
 /// path from any source, so every dependency points to an earlier round.
 pub fn crawl_rounds(graph: &dyn TaskGraph) -> Vec<Vec<TaskId>> {
     let ids = graph.ids();
-    let tasks: HashMap<TaskId, babelflow_core::Task> =
+    let tasks: HashMap<TaskId, Task> =
         ids.iter().filter_map(|&id| graph.task(id).map(|t| (id, t))).collect();
+    crawl_rounds_from(&tasks)
+}
+
+/// Crawl an already-materialized plan into rounds — the steady-state path:
+/// no procedural graph queries.
+fn plan_rounds(plan: &ShardPlan) -> Vec<Vec<TaskId>> {
+    let tasks: HashMap<TaskId, Task> =
+        plan.tasks().iter().map(|pt| (pt.id(), pt.task.clone())).collect();
+    crawl_rounds_from(&tasks)
+}
+
+fn crawl_rounds_from(tasks: &HashMap<TaskId, Task>) -> Vec<Vec<TaskId>> {
     let mut indegree: HashMap<TaskId, usize> = tasks
         .values()
         .map(|t| (t.id, t.incoming.iter().filter(|s| !s.is_external()).count()))
@@ -99,31 +120,39 @@ impl Controller for LegionIndexLaunchController {
     fn run_traced(
         &mut self,
         graph: &dyn TaskGraph,
-        _map: &dyn TaskMap, // "neither phase barriers nor task maps are required"
+        map: &dyn TaskMap, // placement unused; only consulted if a plan must be built
         registry: &Registry,
         initial: InitialInputs,
         sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
-        preflight(graph, registry, &initial)?;
+        let (plan, built_queries) = match &self.plan {
+            Some(p) => (p.clone(), 0),
+            None => {
+                let p = Arc::new(ShardPlan::build(graph, map));
+                let q = p.build_queries();
+                (p, q)
+            }
+        };
+        plan.preflight(registry, &initial)?;
         let rt = LegionRuntime::with_sink(self.workers, sink);
-        attach_inputs(&rt, graph, &initial);
+        attach_inputs(&rt, &plan, &initial);
 
         let no_barriers = Arc::new(HashMap::new());
         let sinks = Arc::new(Sinks::default());
-        let rounds = crawl_rounds(graph);
+        let rounds = plan_rounds(&plan);
 
         // One index launch per round, all staged by this (parent) thread.
         for round in &rounds {
             let mut launchers: Vec<Option<_>> = round
                 .iter()
                 .map(|&id| {
-                    let task = graph.task(id).expect("round ids are tasks");
+                    let pt = plan.task_by_id(id).expect("round ids are tasks");
                     let callback = registry
-                        .get(task.callback)
+                        .get(pt.callback())
                         .expect("preflight checked bindings")
                         .clone();
                     Some(build_task_launcher(
-                        task,
+                        pt.task.clone(),
                         callback,
                         no_barriers.clone(),
                         sinks.clone(),
@@ -146,8 +175,12 @@ impl Controller for LegionIndexLaunchController {
             WaitOutcome::Completed => {}
             WaitOutcome::Stalled { .. } => {
                 let executed = sinks.executed.lock();
-                let mut pending: Vec<TaskId> =
-                    graph.ids().into_iter().filter(|id| !executed.contains(id)).collect();
+                let mut pending: Vec<TaskId> = plan
+                    .tasks()
+                    .iter()
+                    .map(|pt| pt.id())
+                    .filter(|id| !executed.contains(id))
+                    .collect();
                 pending.sort();
                 return Err(ControllerError::Deadlock { pending });
             }
@@ -163,6 +196,8 @@ impl Controller for LegionIndexLaunchController {
         report.stats.tasks_executed = sinks.executed.lock().len() as u64;
         report.stats.local_messages = rt.stats().tasks_launched;
         report.stats.recovery.retries = sinks.retries.get();
+        report.stats.perf.task_queries = built_queries;
+        report.stats.perf.payload_clones = sinks.clones.get();
         Ok(report)
     }
 

@@ -23,14 +23,14 @@
 //!   consumer operations when data is ready" — modeled as trigger-once
 //!   events usable as launch preconditions, with no global synchronization.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use babelflow_core::trace::{noop_sink, now_ns, SpanKind, TraceEvent, TraceSink, HOST_RANK};
 use babelflow_core::Payload;
-use babelflow_core::sync::{Condvar, Mutex};
+use babelflow_core::sync::{Condvar, Mutex, WorkDeques};
 
 /// A logical region: metadata naming a piece of data. The tuple mirrors how
 /// the BabelFlow controllers name dataflow edges: (producer task, consumer
@@ -222,7 +222,10 @@ struct SchedState {
     waiters: HashMap<Precondition, Vec<usize>>,
     /// Events already triggered (region writes / barrier triggers).
     triggered: std::collections::HashSet<Precondition>,
-    ready: VecDeque<ReadyTask>,
+    /// Ready tasks in per-worker lanes: a worker drains its own lane and
+    /// steals from the others when it runs dry, so a burst of triggers on
+    /// one lane cannot idle the rest of the pool.
+    ready: WorkDeques<ReadyTask>,
     /// Tasks launched but not yet completed.
     outstanding: usize,
     shutdown: bool,
@@ -334,7 +337,7 @@ fn trigger(st: &mut SchedState, pre: Precondition) {
                 p.unmet -= 1;
                 if p.unmet == 0 {
                     let p = st.pending[idx].take().expect("checked above");
-                    st.ready.push_back(ReadyTask {
+                    st.ready.push(ReadyTask {
                         body: p.body,
                         trace_task: p.trace_task,
                         ready_ns,
@@ -371,7 +374,7 @@ fn submit(inner: &Inner, launcher: TaskLauncher) {
     }
     if unmet == 0 {
         let ready_ns = if st.tracing { now_ns() } else { 0 };
-        st.ready.push_back(ReadyTask {
+        st.ready.push(ReadyTask {
             body: launcher.body,
             trace_task: launcher.trace_task,
             ready_ns,
@@ -415,7 +418,7 @@ impl LegionRuntime {
                 pending: Vec::new(),
                 waiters: HashMap::new(),
                 triggered: std::collections::HashSet::new(),
-                ready: VecDeque::new(),
+                ready: WorkDeques::new(workers),
                 outstanding: 0,
                 shutdown: false,
                 tracing,
@@ -574,7 +577,7 @@ fn worker_main(inner: &Inner, worker: u32) {
                 if st.shutdown {
                     return;
                 }
-                if let Some(t) = st.ready.pop_front() {
+                if let Some(t) = st.ready.pop(worker as usize) {
                     break t;
                 }
                 inner.cv.wait(&mut st);

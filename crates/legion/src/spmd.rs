@@ -10,12 +10,12 @@
 //! called phase barriers."
 //!
 //! Implementation: one must-epoch launch of `num_shards` shard tasks. Each
-//! shard task walks its local subgraph (from the user's `TaskMap` — "as in
-//! the MPI case, the Legion controller makes use of the task map") and
-//! submits one single-task launcher per dataflow task. Same-shard edges
-//! become region-readiness dependencies; cross-shard edges additionally get
-//! a one-arrival phase barrier that the producer arrives at after writing
-//! the shared region.
+//! shard task walks its local subgraph (from a [`ShardPlan`] capturing the
+//! user's `TaskMap` — "as in the MPI case, the Legion controller makes use
+//! of the task map") and submits one single-task launcher per dataflow
+//! task. Same-shard edges become region-readiness dependencies; cross-shard
+//! edges additionally get a one-arrival phase barrier that the producer
+//! arrives at after writing the shared region.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -25,8 +25,8 @@ use babelflow_core::fault::{catch_invoke, MAX_TASK_RETRIES};
 use babelflow_core::sync::{Counter, Mutex};
 use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink};
 use babelflow_core::{
-    preflight, Callback, Controller, ControllerError, InitialInputs, Payload, Registry, Result,
-    RunReport, ShardId, Task, TaskGraph, TaskId, TaskMap,
+    Callback, Controller, ControllerError, InitialInputs, Payload, PlanTask, Registry, Result,
+    RunReport, ShardId, ShardPlan, Task, TaskGraph, TaskId, TaskMap,
 };
 
 use crate::edges::{input_regions, output_regions};
@@ -39,17 +39,26 @@ pub struct LegionSpmdController {
     pub workers: usize,
     /// Stall-detection timeout.
     pub timeout: Duration,
+    /// Prebuilt execution plan. When absent, one is built (and its graph
+    /// queries charged to `PerfStats::task_queries`) on each run.
+    pub plan: Option<Arc<ShardPlan>>,
 }
 
 impl LegionSpmdController {
     /// Controller executing on `workers` threads.
     pub fn new(workers: usize) -> Self {
-        LegionSpmdController { workers, timeout: Duration::from_secs(10) }
+        LegionSpmdController { workers, timeout: Duration::from_secs(10), plan: None }
     }
 
     /// Set the stall-detection timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Execute from a prebuilt plan instead of querying the graph.
+    pub fn with_plan(mut self, plan: Arc<ShardPlan>) -> Self {
+        self.plan = Some(plan);
         self
     }
 }
@@ -63,19 +72,18 @@ pub(crate) struct Sinks {
     /// Callback re-executions after captured panics, surfaced as
     /// `RunStats::recovery.retries`.
     pub(crate) retries: Counter,
+    /// Payload clones (inputs handed to callbacks, outputs copied into
+    /// regions), surfaced as `PerfStats::payload_clones`.
+    pub(crate) clones: Counter,
 }
 
 /// Attach every external input payload as a pre-mapped physical region.
-pub(crate) fn attach_inputs(
-    rt: &LegionRuntime,
-    graph: &dyn TaskGraph,
-    initial: &InitialInputs,
-) {
+pub(crate) fn attach_inputs(rt: &LegionRuntime, plan: &ShardPlan, initial: &InitialInputs) {
     for (task_id, payloads) in initial {
-        let task = graph.task(*task_id).expect("preflight verified inputs");
-        let regions = input_regions(&task);
+        let pt = plan.task_by_id(*task_id).expect("preflight verified inputs");
+        let regions = input_regions(&pt.task);
         let mut supplied = payloads.iter();
-        for (slot, &src) in task.incoming.iter().enumerate() {
+        for (slot, &src) in pt.task.incoming.iter().enumerate() {
             if src.is_external() {
                 let p = supplied.next().expect("preflight counted external inputs");
                 rt.attach_region(regions[slot], p.clone());
@@ -120,6 +128,7 @@ pub(crate) fn build_task_launcher(
             let mut attempts = 0u32;
             let outputs = loop {
                 attempts += 1;
+                sinks.clones.fetch_add(inputs.len() as u64);
                 let cb_start = if tracing { now_ns() } else { 0 };
                 let result = catch_invoke(&callback, inputs.clone(), task.id);
                 if tracing {
@@ -166,6 +175,7 @@ pub(crate) fn build_task_launcher(
                 return;
             }
             for (slot, region) in output_regions(&task) {
+                sinks.clones.next();
                 if TaskId(region.dst).is_external() {
                     sinks
                         .outputs
@@ -205,26 +215,35 @@ pub(crate) fn build_task_launcher(
 }
 
 /// Classify a task's inputs and construct its launcher with barriers for
-/// cross-shard edges.
+/// cross-shard edges. Shard placement comes from the plan, never the map.
 fn launcher_for(
-    task: &Task,
+    pt: &PlanTask,
+    plan: &ShardPlan,
     registry: &Registry,
-    map: &dyn TaskMap,
     barriers: &Arc<HashMap<RegionKey, u64>>,
     sinks: &Arc<Sinks>,
 ) -> TaskLauncher {
-    let in_regions = input_regions(task);
-    let home = map.shard(task.id);
+    let in_regions = input_regions(&pt.task);
+    let home = pt.shard;
     let mut waits = Vec::new();
-    for (slot, &src) in task.incoming.iter().enumerate() {
-        if !src.is_external() && map.shard(src) != home {
+    for (slot, &src) in pt.task.incoming.iter().enumerate() {
+        if !src.is_external()
+            && plan.task_by_id(src).expect("edge source exists").shard != home
+        {
             if let Some(&b) = barriers.get(&in_regions[slot]) {
                 waits.push(b);
             }
         }
     }
-    let callback = registry.get(task.callback).expect("preflight checked bindings").clone();
-    build_task_launcher(task.clone(), callback, barriers.clone(), sinks.clone(), waits, home.0)
+    let callback = registry.get(pt.callback()).expect("preflight checked bindings").clone();
+    build_task_launcher(
+        pt.task.clone(),
+        callback,
+        barriers.clone(),
+        sinks.clone(),
+        waits,
+        home.0,
+    )
 }
 
 impl Controller for LegionSpmdController {
@@ -236,19 +255,28 @@ impl Controller for LegionSpmdController {
         initial: InitialInputs,
         sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
-        preflight(graph, registry, &initial)?;
-        let shards = map.num_shards();
+        let (plan, built_queries) = match &self.plan {
+            Some(p) => (p.clone(), 0),
+            None => {
+                let p = Arc::new(ShardPlan::build(graph, map));
+                let q = p.build_queries();
+                (p, q)
+            }
+        };
+        plan.preflight(registry, &initial)?;
+        let shards = plan.num_shards();
         let rt = LegionRuntime::with_sink(self.workers, sink);
-        attach_inputs(&rt, graph, &initial);
+        attach_inputs(&rt, &plan, &initial);
 
         // One phase barrier per cross-shard edge.
         let mut barriers: HashMap<RegionKey, u64> = HashMap::new();
-        for id in graph.ids() {
-            let task = graph.task(id).expect("ids() yields tasks");
-            let home = map.shard(id);
-            for (_, region) in output_regions(&task) {
+        for pt in plan.tasks() {
+            let home = pt.shard;
+            for (_, region) in output_regions(&pt.task) {
                 let dst = TaskId(region.dst);
-                if !dst.is_external() && map.shard(dst) != home {
+                if !dst.is_external()
+                    && plan.task_by_id(dst).expect("edge target exists").shard != home
+                {
                     barriers.insert(region, rt.create_barrier(1).id);
                 }
             }
@@ -261,10 +289,10 @@ impl Controller for LegionSpmdController {
         // the shard tasks which submit them.
         let mut shard_tasks = Vec::with_capacity(shards as usize);
         for shard in 0..shards {
-            let launchers: Vec<TaskLauncher> = graph
-                .local_graph(ShardId(shard), map)
+            let launchers: Vec<TaskLauncher> = plan
+                .local(ShardId(shard))
                 .iter()
-                .map(|t| launcher_for(t, registry, map, &barriers, &sinks))
+                .map(|&ix| launcher_for(plan.task(ix), &plan, registry, &barriers, &sinks))
                 .collect();
             shard_tasks.push(TaskLauncher::new(
                 "spmd-shard",
@@ -285,8 +313,12 @@ impl Controller for LegionSpmdController {
             WaitOutcome::Completed => {}
             WaitOutcome::Stalled { .. } => {
                 let executed = sinks.executed.lock();
-                let mut pending: Vec<TaskId> =
-                    graph.ids().into_iter().filter(|id| !executed.contains(id)).collect();
+                let mut pending: Vec<TaskId> = plan
+                    .tasks()
+                    .iter()
+                    .map(|pt| pt.id())
+                    .filter(|id| !executed.contains(id))
+                    .collect();
                 pending.sort();
                 return Err(ControllerError::Deadlock { pending });
             }
@@ -302,6 +334,8 @@ impl Controller for LegionSpmdController {
         report.stats.tasks_executed = sinks.executed.lock().len() as u64;
         report.stats.local_messages = rt.stats().tasks_launched;
         report.stats.recovery.retries = sinks.retries.get();
+        report.stats.perf.task_queries = built_queries;
+        report.stats.perf.payload_clones = sinks.clones.get();
         Ok(report)
     }
 

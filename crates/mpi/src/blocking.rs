@@ -11,8 +11,9 @@
 //! its tasks in a *fixed static order* (a global topological order of the
 //! graph), blocking on each missing input in turn, with no worker threads.
 //! Everything else — task graph, callbacks, payloads, transport — is
-//! identical to the asynchronous controller, so benchmark deltas between
-//! the two isolate exactly the scheduling difference.
+//! identical to the asynchronous controller (including the [`ShardPlan`]
+//! fast path and batched sends), so benchmark deltas between the two
+//! isolate exactly the scheduling difference.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -22,8 +23,8 @@ use babelflow_core::channel::RecvTimeoutError;
 use babelflow_core::fault::{catch_invoke, MAX_TASK_RETRIES};
 use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink, CONTROL_THREAD};
 use babelflow_core::{
-    preflight, Controller, ControllerError, InitialInputs, InputBuffer, Payload, Registry, Result,
-    RunReport, RunStats, ShardId, TaskGraph, TaskId, TaskMap,
+    Controller, ControllerError, InitialInputs, Payload, PlanBuffer, Registry, Result, RunReport,
+    RunStats, ShardId, ShardPlan, TaskGraph, TaskId, TaskMap,
 };
 
 use crate::comm::{FaultPlan, RankComm, World};
@@ -39,11 +40,14 @@ pub struct BlockingMpiController {
     pub timeout: Duration,
     /// Fault injection for tests.
     pub faults: FaultPlan,
+    /// Prebuilt execution plan; when absent one is built (and its query
+    /// cost counted) per run.
+    pub plan: Option<Arc<ShardPlan>>,
 }
 
 impl Default for BlockingMpiController {
     fn default() -> Self {
-        BlockingMpiController { timeout: DEFAULT_TIMEOUT, faults: FaultPlan::none() }
+        BlockingMpiController { timeout: DEFAULT_TIMEOUT, faults: FaultPlan::none(), plan: None }
     }
 }
 
@@ -64,11 +68,23 @@ impl BlockingMpiController {
         self.faults = faults;
         self
     }
+
+    /// Reuse a prebuilt [`ShardPlan`] (it must have been built against the
+    /// same graph and map this run uses).
+    pub fn with_plan(mut self, plan: Arc<ShardPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
 }
 
 /// Global topological order of the graph (Kahn's algorithm, id-tiebroken):
 /// the static schedule every rank follows. Any topological order is a valid
 /// blocking schedule; id tie-breaking makes it deterministic.
+///
+/// Legacy (procedural) form, querying `graph.task()` per id; the
+/// controller itself uses the query-free [`ShardPlan::static_schedule`],
+/// which produces the identical order. Kept public for benchmarks
+/// measuring the legacy call pattern.
 pub fn static_schedule(graph: &dyn TaskGraph) -> HashMap<TaskId, usize> {
     let ids = graph.ids();
     let tasks: HashMap<TaskId, babelflow_core::Task> =
@@ -113,15 +129,25 @@ impl Controller for BlockingMpiController {
         initial: InitialInputs,
         sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
-        preflight(graph, registry, &initial)?;
-        let schedule = static_schedule(graph);
-        let nranks = map.num_shards() as usize;
+        let mut built_queries = 0u64;
+        let plan = match &self.plan {
+            Some(p) => p.clone(),
+            None => {
+                let p = Arc::new(ShardPlan::build(graph, map));
+                built_queries = p.build_queries();
+                p
+            }
+        };
+        plan.preflight(registry, &initial)?;
+        let schedule = plan.static_schedule();
+        let nranks = plan.num_shards() as usize;
         let mut world = World::with_faults(nranks, self.faults.clone());
         let endpoints = world.endpoints();
 
         let mut rank_inputs: Vec<InitialInputs> = (0..nranks).map(|_| HashMap::new()).collect();
         for (task, payloads) in initial {
-            rank_inputs[map.shard(task).0 as usize].insert(task, payloads);
+            let shard = plan.task_by_id(task).expect("preflight checked inputs").shard;
+            rank_inputs[shard.0 as usize].insert(task, payloads);
         }
 
         let timeout = self.timeout;
@@ -134,10 +160,9 @@ impl Controller for BlockingMpiController {
                     .zip(rank_inputs)
                     .map(|(ep, inputs)| {
                         let sink = sink.clone();
+                        let plan = plan.clone();
                         s.spawn(move || {
-                            blocking_rank_main(
-                                ep, graph, map, registry, inputs, schedule, timeout, sink,
-                            )
+                            blocking_rank_main(ep, &plan, registry, inputs, schedule, timeout, sink)
                         })
                     })
                     .collect();
@@ -150,6 +175,7 @@ impl Controller for BlockingMpiController {
             report.outputs.extend(outputs);
             report.stats.merge(&stats);
         }
+        report.stats.perf.task_queries += built_queries;
         Ok(report)
     }
 
@@ -161,8 +187,7 @@ impl Controller for BlockingMpiController {
 #[allow(clippy::too_many_arguments)]
 fn blocking_rank_main(
     ep: RankComm,
-    graph: &dyn TaskGraph,
-    map: &dyn TaskMap,
+    plan: &Arc<ShardPlan>,
     registry: &Registry,
     initial: InitialInputs,
     schedule: &HashMap<TaskId, usize>,
@@ -170,10 +195,12 @@ fn blocking_rank_main(
     sink: Arc<dyn TraceSink>,
 ) -> Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)> {
     let mut rel = ReliableEndpoint::new(ep);
-    match blocking_rank_inner(&mut rel, graph, map, registry, initial, schedule, timeout, sink) {
+    match blocking_rank_inner(&mut rel, plan, registry, initial, schedule, timeout, sink) {
         Ok((outputs, mut stats)) => {
             rel.flush(timeout);
             stats.recovery.merge(&rel.stats);
+            stats.perf.envelopes_sent += rel.envelopes_sent;
+            stats.perf.batches_sent += rel.batches_sent;
             Ok((outputs, stats))
         }
         Err(e) => {
@@ -186,8 +213,7 @@ fn blocking_rank_main(
 #[allow(clippy::too_many_arguments)]
 fn blocking_rank_inner(
     rel: &mut ReliableEndpoint,
-    graph: &dyn TaskGraph,
-    map: &dyn TaskMap,
+    plan: &Arc<ShardPlan>,
     registry: &Registry,
     initial: InitialInputs,
     schedule: &HashMap<TaskId, usize>,
@@ -197,19 +223,22 @@ fn blocking_rank_inner(
     let tracing = sink.enabled();
     let my_rank = rel.rank() as u32;
     let my_shard = ShardId(rel.rank() as u32);
-    let mut local = graph.local_graph(my_shard, map);
     // The static schedule: strictly follow the global topological order.
-    local.sort_by_key(|t| schedule[&t.id]);
+    let mut local: Vec<u32> = plan.local(my_shard).to_vec();
+    local.sort_by_key(|&ix| schedule[&plan.task(ix).id()]);
 
-    let mut buffers: HashMap<TaskId, InputBuffer> =
-        local.iter().map(|t| (t.id, InputBuffer::new(t.clone()))).collect();
+    let mut buffers: HashMap<TaskId, PlanBuffer> = local
+        .iter()
+        .map(|&ix| (plan.task(ix).id(), PlanBuffer::new(plan, ix)))
+        .collect();
 
     for (task, payloads) in initial {
         let buf = buffers
             .get_mut(&task)
             .ok_or_else(|| ControllerError::Runtime(format!("initial input for non-local task {task}")))?;
+        let pt = plan.task(buf.ix());
         for p in payloads {
-            if !buf.deliver(TaskId::EXTERNAL, p) {
+            if !buf.deliver(pt, TaskId::EXTERNAL, p) {
                 return Err(ControllerError::Runtime(format!("too many initial inputs for {task}")));
             }
         }
@@ -218,14 +247,16 @@ fn blocking_rank_inner(
     let mut outputs: BTreeMap<TaskId, Vec<Payload>> = BTreeMap::new();
     let mut stats = RunStats::default();
 
-    for task in &local {
+    for &task_ix in &local {
+        let pt = plan.task(task_ix);
+        let task_id = pt.id();
         // Blocking phase: wait until this specific task is complete,
         // ignoring whether later tasks could already run (the baseline's
         // weakness under load imbalance).
         let wait_start = if tracing { now_ns() } else { 0 };
         let tick = Duration::from_millis(10).min(timeout);
         let mut last_progress = Instant::now();
-        while !buffers[&task.id].ready() {
+        while !buffers[&task_id].ready() {
             // Drain whatever the reliable layer has restored to order.
             let mut progressed = false;
             while let Some((src_rank, _tag, body)) = rel.pop_ready() {
@@ -237,7 +268,8 @@ fn blocking_rank_inner(
                 let buf = buffers.get_mut(&msg.dst_task).ok_or_else(|| {
                     ControllerError::Runtime(format!("message for unknown task {}", msg.dst_task))
                 })?;
-                if !buf.deliver(msg.src_task, Payload::Buffer(msg.payload)) {
+                let dst_pt = plan.task(buf.ix());
+                if !buf.deliver(dst_pt, msg.src_task, Payload::Buffer(msg.payload)) {
                     return Err(ControllerError::Runtime(format!(
                         "unexpected delivery {} -> {}",
                         msg.src_task, msg.dst_task
@@ -252,7 +284,7 @@ fn blocking_rank_inner(
                             my_rank,
                             CONTROL_THREAD,
                         )
-                        .with_task(msg.dst_task, buf.task().callback)
+                        .with_task(msg.dst_task, dst_pt.callback())
                         .with_message(msg.src_task, wire_bytes),
                     );
                 }
@@ -280,33 +312,34 @@ fn blocking_rank_inner(
             }
         }
 
-        let (task, inputs) = buffers.remove(&task.id).expect("scheduled task buffered").take();
+        let inputs = buffers.remove(&task_id).expect("scheduled task buffered").take();
         let exec_start = if tracing { now_ns() } else { 0 };
         if tracing {
             // For the blocking baseline, "queue wait" is the blocking-recv
             // phase: time the static schedule stalled on this task's inputs.
             sink.record(
                 TraceEvent::span(SpanKind::QueueWait, wait_start, exec_start, my_rank, 0)
-                    .with_task(task.id, task.callback),
+                    .with_task(task_id, pt.callback()),
             );
         }
-        let cb = registry.get(task.callback).expect("preflight checked bindings");
+        let cb = registry.get(pt.callback()).expect("preflight checked bindings");
         // Idempotent retry: a panicking callback is re-executed from the
         // same inputs; each attempt gets its own Callback + TaskExec span.
         let mut attempts = 0u32;
         let outs = loop {
             attempts += 1;
             let attempt_start = if tracing { now_ns() } else { 0 };
-            let attempt = catch_invoke(cb, inputs.clone(), task.id);
+            stats.perf.payload_clones += inputs.len() as u64;
+            let attempt = catch_invoke(cb, inputs.clone(), task_id);
             if tracing {
                 let end = now_ns();
                 sink.record(
                     TraceEvent::span(SpanKind::Callback, attempt_start, end, my_rank, 0)
-                        .with_task(task.id, task.callback),
+                        .with_task(task_id, pt.callback()),
                 );
                 sink.record(
                     TraceEvent::span(SpanKind::TaskExec, attempt_start, end, my_rank, 0)
-                        .with_task(task.id, task.callback),
+                        .with_task(task_id, pt.callback()),
                 );
             }
             match attempt {
@@ -314,7 +347,7 @@ fn blocking_rank_inner(
                 Err(reason) => {
                     if attempts > MAX_TASK_RETRIES {
                         return Err(ControllerError::TaskError {
-                            task: task.id,
+                            task: task_id,
                             attempts,
                             reason,
                         });
@@ -324,57 +357,63 @@ fn blocking_rank_inner(
             }
         };
         stats.tasks_executed += 1;
-        if outs.len() != task.fan_out() {
+        if outs.len() != pt.fan_out() {
             return Err(ControllerError::BadOutputArity {
-                task: task.id,
-                expected: task.fan_out(),
+                task: task_id,
+                expected: pt.fan_out(),
                 got: outs.len(),
             });
         }
         for (slot, payload) in outs.into_iter().enumerate() {
-            for &dst in &task.outgoing[slot] {
-                if dst.is_external() {
-                    outputs.entry(task.id).or_default().push(payload.clone());
-                } else if map.shard(dst) == my_shard {
+            for route in &pt.routes[slot] {
+                if route.is_external() {
+                    outputs.entry(task_id).or_default().push(payload.clone());
+                    stats.perf.payload_clones += 1;
+                } else if route.shard == my_shard {
+                    let dst = route.dst;
                     let buf = buffers.get_mut(&dst).ok_or_else(|| {
                         ControllerError::Runtime(format!(
                             "local consumer {dst} executed before its producer"
                         ))
                     })?;
-                    if !buf.deliver(task.id, payload.clone()) {
+                    let dst_pt = plan.task(buf.ix());
+                    if !buf.deliver(dst_pt, task_id, payload.clone()) {
                         return Err(ControllerError::Runtime(format!(
                             "unexpected local delivery {} -> {dst}",
-                            task.id
+                            task_id
                         )));
                     }
+                    stats.perf.payload_clones += 1;
                     stats.local_messages += 1;
                     if tracing {
                         let t = now_ns();
                         // In-memory move: no serialization, bytes = 0.
                         sink.record(
                             TraceEvent::span(SpanKind::MsgSend, t, t, my_rank, 0)
-                                .with_task(task.id, task.callback)
+                                .with_task(task_id, pt.callback())
                                 .with_message(dst, 0),
                         );
                     }
                 } else {
                     let send_start = if tracing { now_ns() } else { 0 };
-                    let msg = DataflowMsg::from_payload(dst, task.id, &payload);
+                    let msg = DataflowMsg::from_payload(route.dst, task_id, &payload);
                     let body = msg.encode();
                     stats.remote_messages += 1;
                     stats.remote_bytes += body.len() as u64;
                     let wire_bytes = body.len() as u64;
-                    rel.send(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
+                    rel.send(route.shard.0 as usize, TAG_DATAFLOW, body);
                     if tracing {
                         sink.record(
                             TraceEvent::span(SpanKind::MsgSend, send_start, now_ns(), my_rank, 0)
-                                .with_task(task.id, task.callback)
-                                .with_message(dst, wire_bytes),
+                                .with_task(task_id, pt.callback())
+                                .with_message(route.dst, wire_bytes),
                         );
                     }
                 }
             }
         }
+        // One envelope per destination for this task's whole fan-out.
+        rel.flush_sends();
     }
 
     Ok((outputs, stats))

@@ -18,8 +18,65 @@ use std::time::Duration;
 
 use babelflow_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use babelflow_core::sync::Counter;
+use babelflow_core::{Bytes, BytesMut};
 
 pub use babelflow_core::fault::FaultPlan;
+
+/// Tag reserved for batch envelopes: the body is a [`pack_batch`]-encoded
+/// sequence of `(tag, body)` parts coalesced into one channel operation.
+///
+/// A batch is a *single* transport message: it consumes one fault sequence
+/// number, so an injected drop/duplicate/delay hits the whole batch and the
+/// reliable layer recovers every part together.
+pub const TAG_BATCH: u32 = u32::MAX - 1;
+
+/// Encode `parts` into one batch body: `u32 count`, then per part
+/// `u32 tag, u32 len, len bytes` (all little-endian).
+///
+/// `stage` is a caller-owned staging buffer reused across calls so the hot
+/// send path performs no per-batch buffer allocation once the staging
+/// capacity has grown to the working-set size.
+pub fn pack_batch(parts: &[(u32, Bytes)], stage: &mut BytesMut) -> Bytes {
+    stage.clear();
+    let total = 4 + parts.iter().map(|(_, b)| 8 + b.len()).sum::<usize>();
+    stage.reserve(total);
+    stage.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    for (tag, body) in parts {
+        stage.extend_from_slice(&tag.to_le_bytes());
+        stage.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        stage.extend_from_slice(body.as_ref());
+    }
+    stage.freeze_reuse()
+}
+
+/// Decode a [`pack_batch`] body back into its `(tag, body)` parts.
+///
+/// Part bodies are O(1) slices of the batch buffer — no copy. Returns
+/// `None` on truncated or trailing garbage (a malformed batch is dropped
+/// whole; the reliable layer's retransmit recovers it).
+pub fn unpack_batch(body: &Bytes) -> Option<Vec<(u32, Bytes)>> {
+    let raw = body.as_ref();
+    if raw.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(raw[..4].try_into().ok()?) as usize;
+    let mut parts = Vec::with_capacity(count);
+    let mut off = 4usize;
+    for _ in 0..count {
+        if raw.len() < off + 8 {
+            return None;
+        }
+        let tag = u32::from_le_bytes(raw[off..off + 4].try_into().ok()?);
+        let len = u32::from_le_bytes(raw[off + 4..off + 8].try_into().ok()?) as usize;
+        off += 8;
+        if raw.len() < off + len {
+            return None;
+        }
+        parts.push((tag, body.slice(off..off + len)));
+        off += len;
+    }
+    (off == raw.len()).then_some(parts)
+}
 
 /// A message in flight: source rank, tag, and opaque bytes.
 #[derive(Debug, Clone)]
@@ -342,5 +399,53 @@ mod tests {
     fn send_to_unknown_rank_panics() {
         let mut w = World::new(1);
         w.endpoint(0).isend(3, 0, Bytes::new());
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_tags_and_bodies() {
+        let parts = vec![
+            (7u32, Bytes::from_static(b"alpha")),
+            (TAG_BATCH - 1, Bytes::new()),
+            (0, Bytes::from(vec![1u8, 2, 3])),
+        ];
+        let mut stage = BytesMut::new();
+        let packed = pack_batch(&parts, &mut stage);
+        assert!(stage.is_empty(), "stage is cleared for reuse");
+        let unpacked = unpack_batch(&packed).unwrap();
+        assert_eq!(unpacked, parts);
+        // The staging buffer is reusable for the next batch.
+        let again = pack_batch(&parts[..1], &mut stage);
+        assert_eq!(unpack_batch(&again).unwrap(), &parts[..1]);
+    }
+
+    #[test]
+    fn unpack_rejects_malformed_batches() {
+        assert!(unpack_batch(&Bytes::from_static(b"ab")).is_none(), "short header");
+        let mut stage = BytesMut::new();
+        let packed = pack_batch(&[(1, Bytes::from_static(b"xyz"))], &mut stage);
+        assert!(unpack_batch(&packed.slice(..packed.len() - 1)).is_none(), "truncated body");
+        let mut trailing = packed.to_vec();
+        trailing.push(0);
+        assert!(unpack_batch(&Bytes::from(trailing)).is_none(), "trailing garbage");
+    }
+
+    #[test]
+    fn batch_is_one_transport_message() {
+        // One batch consumes one fault sequence number: dropping seq 0
+        // loses the whole batch, and the next plain send still arrives.
+        let faults = FaultPlan { drop: vec![(0, 1, 0)], ..FaultPlan::none() };
+        let mut w = World::with_faults(2, faults);
+        let a = w.endpoint(0);
+        let b = w.endpoint(1);
+        let mut stage = BytesMut::new();
+        let packed = pack_batch(
+            &[(3, Bytes::from_static(b"one")), (3, Bytes::from_static(b"two"))],
+            &mut stage,
+        );
+        a.isend(1, TAG_BATCH, packed);
+        a.isend(1, 9, Bytes::from_static(b"after"));
+        let e = b.recv_timeout(Duration::from_millis(200)).unwrap();
+        assert_eq!((e.tag, e.body.as_ref()), (9, &b"after"[..]));
+        assert!(b.try_recv().is_none());
     }
 }

@@ -9,11 +9,18 @@
 //! data has been received, in the order in which this data arrived."
 //!
 //! Fidelity notes:
-//! * static task→rank allocation via the user's [`TaskMap`];
+//! * static task→rank allocation via the user's [`TaskMap`], precompiled
+//!   into a [`ShardPlan`] so the steady state never re-queries the
+//!   procedural graph (see `crate::plan` in `babelflow-core`);
 //! * per-rank controller thread + a pool of worker threads executing ready
-//!   tasks in arrival order;
+//!   tasks in arrival order. The pool is a work-stealing
+//!   [`WorkPool`](babelflow_core::sync::WorkPool): an idle worker steals
+//!   queued tasks from a busy sibling's deque, so one slow callback cannot
+//!   strand the backlog behind it;
 //! * the in-memory fast path: intra-rank messages move the `Payload` by
-//!   reference, skipping de/serialization; inter-rank messages serialize;
+//!   reference, skipping de/serialization; inter-rank messages serialize
+//!   and are *batched* — every destination gets at most one envelope per
+//!   completed task's fan-out ([`ReliableEndpoint::flush_sends`]);
 //! * each task owns its inputs and relinquishes its outputs, so payloads
 //!   are never mutated in place (enforced by `Payload`'s shared-`Arc`
 //!   design).
@@ -33,12 +40,13 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use babelflow_core::channel::{select2, unbounded, Select2, Sender};
+use babelflow_core::channel::{select2, unbounded, Select2};
 use babelflow_core::fault::{catch_invoke, MAX_TASK_RETRIES};
+use babelflow_core::sync::WorkPool;
 use babelflow_core::trace::{now_ns, SpanKind, TraceEvent, TraceSink, CONTROL_THREAD};
 use babelflow_core::{
-    preflight, Controller, ControllerError, InitialInputs, InputBuffer, Payload, Registry, Result,
-    RunReport, RunStats, ShardId, Task, TaskGraph, TaskId, TaskMap,
+    Controller, ControllerError, InitialInputs, Payload, PlanBuffer, Registry, Result, RunReport,
+    RunStats, ShardId, ShardPlan, TaskGraph, TaskId, TaskMap,
 };
 
 use crate::comm::{FaultPlan, RankComm, World};
@@ -60,11 +68,19 @@ pub struct MpiController {
     /// Fault injection for tests: transport faults feed the [`World`],
     /// `kill_worker` entries kill this controller's pool threads.
     pub faults: FaultPlan,
+    /// Prebuilt execution plan; when absent one is built (and its query
+    /// cost counted) per run.
+    pub plan: Option<Arc<ShardPlan>>,
 }
 
 impl Default for MpiController {
     fn default() -> Self {
-        MpiController { workers_per_rank: 2, timeout: DEFAULT_TIMEOUT, faults: FaultPlan::none() }
+        MpiController {
+            workers_per_rank: 2,
+            timeout: DEFAULT_TIMEOUT,
+            faults: FaultPlan::none(),
+            plan: None,
+        }
     }
 }
 
@@ -93,6 +109,14 @@ impl MpiController {
         self.faults = faults;
         self
     }
+
+    /// Reuse a prebuilt [`ShardPlan`] (it must have been built against the
+    /// same graph and map this run uses): repeated runs then perform zero
+    /// procedural graph queries.
+    pub fn with_plan(mut self, plan: Arc<ShardPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
 }
 
 /// What one rank produced.
@@ -107,8 +131,17 @@ impl Controller for MpiController {
         initial: InitialInputs,
         sink: Arc<dyn TraceSink>,
     ) -> Result<RunReport> {
-        preflight(graph, registry, &initial)?;
-        let nranks = map.num_shards() as usize;
+        let mut built_queries = 0u64;
+        let plan = match &self.plan {
+            Some(p) => p.clone(),
+            None => {
+                let p = Arc::new(ShardPlan::build(graph, map));
+                built_queries = p.build_queries();
+                p
+            }
+        };
+        plan.preflight(registry, &initial)?;
+        let nranks = plan.num_shards() as usize;
         let mut world = World::with_faults(nranks, self.faults.clone());
         let endpoints = world.endpoints();
 
@@ -116,7 +149,8 @@ impl Controller for MpiController {
         // and receives only the initial inputs local to it.
         let mut rank_inputs: Vec<InitialInputs> = (0..nranks).map(|_| HashMap::new()).collect();
         for (task, payloads) in initial {
-            rank_inputs[map.shard(task).0 as usize].insert(task, payloads);
+            let shard = plan.task_by_id(task).expect("preflight checked inputs").shard;
+            rank_inputs[shard.0 as usize].insert(task, payloads);
         }
 
         let timeout = self.timeout;
@@ -129,8 +163,9 @@ impl Controller for MpiController {
                 .zip(rank_inputs)
                 .map(|(ep, inputs)| {
                     let sink = sink.clone();
+                    let plan = plan.clone();
                     s.spawn(move || {
-                        rank_main(ep, graph, map, registry, inputs, workers, timeout, faults, sink)
+                        rank_main(ep, &plan, registry, inputs, workers, timeout, faults, sink)
                     })
                 })
                 .collect();
@@ -143,6 +178,7 @@ impl Controller for MpiController {
             report.outputs.extend(outputs);
             report.stats.merge(&stats);
         }
+        report.stats.perf.task_queries += built_queries;
         Ok(report)
     }
 
@@ -151,9 +187,11 @@ impl Controller for MpiController {
     }
 }
 
-/// Work item handed to a worker thread.
+/// Work item handed to a worker thread: a plan index plus the task's
+/// inputs. The `Task` itself stays interned in the shared plan — nothing
+/// is cloned per dispatch beyond the input payload handles.
 struct WorkItem {
-    task: Task,
+    ix: u32,
     inputs: Vec<Payload>,
     /// When the task's inputs completed (0 when tracing is off); the
     /// worker turns the gap until pickup into a queue-wait span.
@@ -162,7 +200,7 @@ struct WorkItem {
 
 /// Result returned by a worker.
 struct DoneItem {
-    task: Task,
+    ix: u32,
     outputs: std::result::Result<Vec<Payload>, ControllerError>,
     /// In-place panic retries the worker performed.
     retries: u64,
@@ -171,7 +209,7 @@ struct DoneItem {
 /// A dispatched-but-not-completed task with its inputs retained so it can
 /// be re-fired if its worker dies (idempotent re-execution).
 struct Inflight {
-    task: Task,
+    ix: u32,
     inputs: Vec<Payload>,
     dispatched_at: Instant,
     refires: u32,
@@ -180,26 +218,31 @@ struct Inflight {
 /// Move ready buffers to the worker pool, retaining each task's inputs in
 /// `inflight` until its completion is observed.
 fn dispatch_ready(
-    buffers: &mut HashMap<TaskId, InputBuffer>,
+    buffers: &mut HashMap<TaskId, PlanBuffer>,
     ready: Vec<TaskId>,
-    work_tx: &Sender<WorkItem>,
+    pool: &WorkPool<WorkItem>,
     inflight: &mut HashMap<TaskId, Inflight>,
+    stats: &mut RunStats,
     tracing: bool,
 ) {
     let ready_ns = if tracing { now_ns() } else { 0 };
     for id in ready {
         if let Some(buf) = buffers.remove(&id) {
-            let (task, inputs) = buf.take();
+            let ix = buf.ix();
+            let inputs = buf.take();
+            // The retained (re-fire) copy is the one input clone dispatch
+            // costs.
+            stats.perf.payload_clones += inputs.len() as u64;
             inflight.insert(
                 id,
                 Inflight {
-                    task: task.clone(),
+                    ix,
                     inputs: inputs.clone(),
                     dispatched_at: Instant::now(),
                     refires: 0,
                 },
             );
-            work_tx.send(WorkItem { task, inputs, ready_ns }).expect("workers alive");
+            pool.push(WorkItem { ix, inputs, ready_ns });
         }
     }
 }
@@ -207,8 +250,7 @@ fn dispatch_ready(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn rank_main(
     ep: RankComm,
-    graph: &dyn TaskGraph,
-    map: &dyn TaskMap,
+    plan: &Arc<ShardPlan>,
     registry: &Registry,
     initial: InitialInputs,
     workers: usize,
@@ -217,8 +259,7 @@ pub(crate) fn rank_main(
     sink: Arc<dyn TraceSink>,
 ) -> RankOutcome {
     let mut rel = ReliableEndpoint::new(ep);
-    match rank_main_inner(&mut rel, graph, map, registry, initial, workers, timeout, faults, sink)
-    {
+    match rank_main_inner(&mut rel, plan, registry, initial, workers, timeout, faults, sink) {
         Ok((outputs, mut stats)) => {
             // Drain: wait for our acks, then linger re-acking peers until
             // the whole world is finished. A `false` here means a peer
@@ -226,6 +267,8 @@ pub(crate) fn rank_main(
             // the error, ours is complete.
             rel.flush(timeout);
             stats.recovery.merge(&rel.stats);
+            stats.perf.envelopes_sent += rel.envelopes_sent;
+            stats.perf.batches_sent += rel.batches_sent;
             Ok((outputs, stats))
         }
         Err(e) => {
@@ -239,8 +282,7 @@ pub(crate) fn rank_main(
 #[allow(clippy::too_many_arguments)]
 fn rank_main_inner(
     rel: &mut ReliableEndpoint,
-    graph: &dyn TaskGraph,
-    map: &dyn TaskMap,
+    plan: &Arc<ShardPlan>,
     registry: &Registry,
     initial: InitialInputs,
     workers: usize,
@@ -249,17 +291,20 @@ fn rank_main_inner(
     sink: Arc<dyn TraceSink>,
 ) -> Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)> {
     let my_shard = ShardId(rel.rank() as u32);
-    let local = graph.local_graph(my_shard, map);
+    let local = plan.local(my_shard);
     let local_total = local.len();
-    let mut buffers: HashMap<TaskId, InputBuffer> =
-        local.into_iter().map(|t| (t.id, InputBuffer::new(t))).collect();
+    let mut buffers: HashMap<TaskId, PlanBuffer> = local
+        .iter()
+        .map(|&ix| (plan.task(ix).id(), PlanBuffer::new(plan, ix)))
+        .collect();
 
     for (task, payloads) in initial {
         let buf = buffers
             .get_mut(&task)
             .ok_or_else(|| ControllerError::Runtime(format!("initial input for non-local task {task}")))?;
+        let pt = plan.task(buf.ix());
         for p in payloads {
-            if !buf.deliver(TaskId::EXTERNAL, p) {
+            if !buf.deliver(pt, TaskId::EXTERNAL, p) {
                 return Err(ControllerError::Runtime(format!("too many initial inputs for {task}")));
             }
         }
@@ -275,25 +320,30 @@ fn rank_main_inner(
             .map(|&(_, w)| w)
             .collect(),
     );
-    let (work_tx, work_rx) = unbounded::<WorkItem>();
+    let pool: WorkPool<WorkItem> = WorkPool::new(workers);
     let (done_tx, done_rx) = unbounded::<DoneItem>();
 
     std::thread::scope(|s| {
         // Worker pool: executes ready tasks in the order their inputs
-        // completed, retrying a panicking callback in place.
+        // completed, retrying a panicking callback in place. Idle workers
+        // steal from busy siblings' deques.
         for worker_idx in 0..workers as u32 {
-            let work_rx = work_rx.clone();
+            let pool = pool.clone();
             let done_tx = done_tx.clone();
             let sink = sink.clone();
             let kills = kills.clone();
+            let plan = plan.clone();
             s.spawn(move || {
-                while let Ok(WorkItem { task, inputs, ready_ns }) = work_rx.recv() {
+                while let Some(WorkItem { ix, inputs, ready_ns }) = pool.recv(worker_idx as usize)
+                {
                     if kills.contains(&worker_idx) {
                         // Injected worker death: abandon the task just
                         // picked up and die. The controller re-fires it
                         // from the retained inputs onto a live worker.
                         break;
                     }
+                    let pt = plan.task(ix);
+                    let (task_id, task_cb) = (pt.id(), pt.callback());
                     let pickup = if tracing { now_ns() } else { 0 };
                     if tracing {
                         sink.record(
@@ -304,14 +354,14 @@ fn rank_main_inner(
                                 my_rank,
                                 worker_idx,
                             )
-                            .with_task(task.id, task.callback),
+                            .with_task(task_id, task_cb),
                         );
                     }
-                    let cb = registry.get(task.callback).expect("preflight checked bindings");
+                    let cb = registry.get(task_cb).expect("preflight checked bindings");
                     let mut retries = 0u64;
                     let result = loop {
                         let attempt_start = if tracing { now_ns() } else { 0 };
-                        let attempt = catch_invoke(cb, inputs.clone(), task.id);
+                        let attempt = catch_invoke(cb, inputs.clone(), task_id);
                         if tracing {
                             // Every attempt — failed ones included — gets
                             // its own Callback + TaskExec span pair, so
@@ -325,7 +375,7 @@ fn rank_main_inner(
                                     my_rank,
                                     worker_idx,
                                 )
-                                .with_task(task.id, task.callback),
+                                .with_task(task_id, task_cb),
                             );
                             sink.record(
                                 TraceEvent::span(
@@ -335,7 +385,7 @@ fn rank_main_inner(
                                     my_rank,
                                     worker_idx,
                                 )
-                                .with_task(task.id, task.callback),
+                                .with_task(task_id, task_cb),
                             );
                         }
                         match attempt {
@@ -343,7 +393,7 @@ fn rank_main_inner(
                             Err(reason) => {
                                 if retries >= MAX_TASK_RETRIES as u64 {
                                     break Err(ControllerError::TaskError {
-                                        task: task.id,
+                                        task: task_id,
                                         attempts: retries as u32 + 1,
                                         reason,
                                     });
@@ -353,204 +403,228 @@ fn rank_main_inner(
                         }
                     };
                     let outputs = result.and_then(|outs| {
-                        if outs.len() == task.fan_out() {
+                        if outs.len() == pt.fan_out() {
                             Ok(outs)
                         } else {
                             Err(ControllerError::BadOutputArity {
-                                task: task.id,
-                                expected: task.fan_out(),
+                                task: task_id,
+                                expected: pt.fan_out(),
                                 got: outs.len(),
                             })
                         }
                     });
-                    let _ = done_tx.send(DoneItem { task, outputs, retries });
+                    let _ = done_tx.send(DoneItem { ix, outputs, retries });
                 }
             });
         }
         drop(done_tx);
 
-        let mut outputs: BTreeMap<TaskId, Vec<Payload>> = BTreeMap::new();
-        let mut stats = RunStats::default();
-        let mut executed = 0usize;
-        let mut inflight: HashMap<TaskId, Inflight> = HashMap::new();
-        let mut completed: HashSet<TaskId> = HashSet::new();
+        let result = (|| -> Result<(BTreeMap<TaskId, Vec<Payload>>, RunStats)> {
+            let mut outputs: BTreeMap<TaskId, Vec<Payload>> = BTreeMap::new();
+            let mut stats = RunStats::default();
+            let mut executed = 0usize;
+            let mut inflight: HashMap<TaskId, Inflight> = HashMap::new();
+            let mut completed: HashSet<TaskId> = HashSet::new();
 
-        let initially_ready: Vec<TaskId> = {
-            let mut r: Vec<TaskId> =
-                buffers.values().filter(|b| b.ready()).map(|b| b.task().id).collect();
-            r.sort();
-            r
-        };
-        dispatch_ready(&mut buffers, initially_ready, &work_tx, &mut inflight, tracing);
+            let initially_ready: Vec<TaskId> = {
+                let mut r: Vec<TaskId> = buffers
+                    .iter()
+                    .filter(|(_, b)| b.ready())
+                    .map(|(&id, _)| id)
+                    .collect();
+                r.sort();
+                r
+            };
+            dispatch_ready(&mut buffers, initially_ready, &pool, &mut inflight, &mut stats, tracing);
 
-        // Short select tick (drives retransmits and re-fires) decoupled
-        // from the stall timeout (no progress at all for `timeout`).
-        let tick = Duration::from_millis(10).min(timeout);
-        let refire_after =
-            (timeout / 8).clamp(Duration::from_millis(50), Duration::from_secs(2));
-        let mut last_progress = Instant::now();
+            // Short select tick (drives retransmits and re-fires) decoupled
+            // from the stall timeout (no progress at all for `timeout`).
+            let tick = Duration::from_millis(10).min(timeout);
+            let refire_after =
+                (timeout / 8).clamp(Duration::from_millis(50), Duration::from_secs(2));
+            let mut last_progress = Instant::now();
 
-        while executed < local_total {
-            // Reliable layer first: deliver whatever is in order.
-            let mut newly_ready = Vec::new();
-            while let Some((src_rank, _tag, body)) = rel.pop_ready() {
-                let recv_start = if tracing { now_ns() } else { 0 };
-                let wire_bytes = body.len() as u64;
-                let msg = DataflowMsg::decode(&body).ok_or_else(|| {
-                    ControllerError::Runtime(format!("malformed message from rank {src_rank}"))
-                })?;
-                let buf = buffers.get_mut(&msg.dst_task).ok_or_else(|| {
-                    ControllerError::Runtime(format!(
-                        "message for unknown/finished task {}", msg.dst_task
-                    ))
-                })?;
-                if !buf.deliver(msg.src_task, Payload::Buffer(msg.payload)) {
-                    return Err(ControllerError::Runtime(format!(
-                        "unexpected delivery {} -> {}", msg.src_task, msg.dst_task
-                    )));
-                }
-                if tracing {
-                    sink.record(
-                        TraceEvent::span(
-                            SpanKind::MsgRecv,
-                            recv_start,
-                            now_ns(),
-                            my_rank,
-                            CONTROL_THREAD,
-                        )
-                        .with_task(msg.dst_task, buf.task().callback)
-                        .with_message(msg.src_task, wire_bytes),
-                    );
-                }
-                if buf.ready() {
-                    newly_ready.push(msg.dst_task);
-                }
-                last_progress = Instant::now();
-            }
-            dispatch_ready(&mut buffers, newly_ready, &work_tx, &mut inflight, tracing);
-
-            // Biased two-way select: worker completions first, then network
-            // envelopes, then the protocol tick. (Bound to a variable so
-            // the inbox borrow ends before `rel.handle` needs `&mut rel`.)
-            let sel = select2(&done_rx, rel.inbox(), tick);
-            match sel {
-                Select2::A(DoneItem { task, outputs: result, retries }) => {
-                    stats.recovery.retries += retries;
-                    if !completed.insert(task.id) {
-                        // A re-fired task completing a second time: its
-                        // outputs were already routed (exactly-once).
-                        continue;
+            while executed < local_total {
+                // Reliable layer first: deliver whatever is in order.
+                let mut newly_ready = Vec::new();
+                while let Some((src_rank, _tag, body)) = rel.pop_ready() {
+                    let recv_start = if tracing { now_ns() } else { 0 };
+                    let wire_bytes = body.len() as u64;
+                    let msg = DataflowMsg::decode(&body).ok_or_else(|| {
+                        ControllerError::Runtime(format!("malformed message from rank {src_rank}"))
+                    })?;
+                    let buf = buffers.get_mut(&msg.dst_task).ok_or_else(|| {
+                        ControllerError::Runtime(format!(
+                            "message for unknown/finished task {}", msg.dst_task
+                        ))
+                    })?;
+                    let dst_pt = plan.task(buf.ix());
+                    if !buf.deliver(dst_pt, msg.src_task, Payload::Buffer(msg.payload)) {
+                        return Err(ControllerError::Runtime(format!(
+                            "unexpected delivery {} -> {}", msg.src_task, msg.dst_task
+                        )));
                     }
-                    inflight.remove(&task.id);
-                    let outs = result?;
-                    executed += 1;
-                    stats.tasks_executed += 1;
+                    if tracing {
+                        sink.record(
+                            TraceEvent::span(
+                                SpanKind::MsgRecv,
+                                recv_start,
+                                now_ns(),
+                                my_rank,
+                                CONTROL_THREAD,
+                            )
+                            .with_task(msg.dst_task, dst_pt.callback())
+                            .with_message(msg.src_task, wire_bytes),
+                        );
+                    }
+                    if buf.ready() {
+                        newly_ready.push(msg.dst_task);
+                    }
                     last_progress = Instant::now();
+                }
+                dispatch_ready(&mut buffers, newly_ready, &pool, &mut inflight, &mut stats, tracing);
 
-                    let mut newly_ready = Vec::new();
-                    for (slot, payload) in outs.into_iter().enumerate() {
-                        for &dst in &task.outgoing[slot] {
-                            if dst.is_external() {
-                                outputs.entry(task.id).or_default().push(payload.clone());
-                            } else if map.shard(dst) == my_shard {
-                                // In-memory fast path: skip serialization.
-                                let buf = buffers.get_mut(&dst).ok_or_else(|| {
-                                    ControllerError::Runtime(format!(
-                                        "local consumer {dst} missing or already executed"
-                                    ))
-                                })?;
-                                if !buf.deliver(task.id, payload.clone()) {
-                                    return Err(ControllerError::Runtime(format!(
-                                        "unexpected local delivery {} -> {dst}", task.id
-                                    )));
-                                }
-                                stats.local_messages += 1;
-                                if tracing {
-                                    let t = now_ns();
-                                    // In-memory move: no serialization, bytes = 0.
-                                    sink.record(
-                                        TraceEvent::span(
-                                            SpanKind::MsgSend,
-                                            t,
-                                            t,
-                                            my_rank,
-                                            CONTROL_THREAD,
-                                        )
-                                        .with_task(task.id, task.callback)
-                                        .with_message(dst, 0),
-                                    );
-                                }
-                                if buf.ready() {
-                                    newly_ready.push(dst);
-                                }
-                            } else {
-                                let send_start = if tracing { now_ns() } else { 0 };
-                                let msg = DataflowMsg::from_payload(dst, task.id, &payload);
-                                let body = msg.encode();
-                                stats.remote_messages += 1;
-                                stats.remote_bytes += body.len() as u64;
-                                let wire_bytes = body.len() as u64;
-                                rel.send(map.shard(dst).0 as usize, TAG_DATAFLOW, body);
-                                if tracing {
-                                    sink.record(
-                                        TraceEvent::span(
-                                            SpanKind::MsgSend,
-                                            send_start,
-                                            now_ns(),
-                                            my_rank,
-                                            CONTROL_THREAD,
-                                        )
-                                        .with_task(task.id, task.callback)
-                                        .with_message(dst, wire_bytes),
-                                    );
+                // Biased two-way select: worker completions first, then network
+                // envelopes, then the protocol tick.
+                let sel = select2(&done_rx, rel.inbox(), tick);
+                match sel {
+                    Select2::A(DoneItem { ix, outputs: result, retries }) => {
+                        stats.recovery.retries += retries;
+                        let pt = plan.task(ix);
+                        let id = pt.id();
+                        if !completed.insert(id) {
+                            // A re-fired task completing a second time: its
+                            // outputs were already routed (exactly-once).
+                            continue;
+                        }
+                        if let Some(inf) = inflight.remove(&id) {
+                            // Each execution attempt cloned the inputs once
+                            // inside the worker.
+                            stats.perf.payload_clones +=
+                                inf.inputs.len() as u64 * (retries + 1);
+                        }
+                        let outs = result?;
+                        executed += 1;
+                        stats.tasks_executed += 1;
+                        last_progress = Instant::now();
+
+                        let mut newly_ready = Vec::new();
+                        for (slot, payload) in outs.into_iter().enumerate() {
+                            for route in &pt.routes[slot] {
+                                if route.is_external() {
+                                    outputs.entry(id).or_default().push(payload.clone());
+                                    stats.perf.payload_clones += 1;
+                                } else if route.shard == my_shard {
+                                    let dst = route.dst;
+                                    // In-memory fast path: skip serialization.
+                                    let buf = buffers.get_mut(&dst).ok_or_else(|| {
+                                        ControllerError::Runtime(format!(
+                                            "local consumer {dst} missing or already executed"
+                                        ))
+                                    })?;
+                                    let dst_pt = plan.task(buf.ix());
+                                    if !buf.deliver(dst_pt, id, payload.clone()) {
+                                        return Err(ControllerError::Runtime(format!(
+                                            "unexpected local delivery {} -> {dst}", id
+                                        )));
+                                    }
+                                    stats.perf.payload_clones += 1;
+                                    stats.local_messages += 1;
+                                    if tracing {
+                                        let t = now_ns();
+                                        // In-memory move: no serialization, bytes = 0.
+                                        sink.record(
+                                            TraceEvent::span(
+                                                SpanKind::MsgSend,
+                                                t,
+                                                t,
+                                                my_rank,
+                                                CONTROL_THREAD,
+                                            )
+                                            .with_task(id, pt.callback())
+                                            .with_message(dst, 0),
+                                        );
+                                    }
+                                    if buf.ready() {
+                                        newly_ready.push(dst);
+                                    }
+                                } else {
+                                    let send_start = if tracing { now_ns() } else { 0 };
+                                    let msg = DataflowMsg::from_payload(route.dst, id, &payload);
+                                    let body = msg.encode();
+                                    stats.remote_messages += 1;
+                                    stats.remote_bytes += body.len() as u64;
+                                    let wire_bytes = body.len() as u64;
+                                    rel.send(route.shard.0 as usize, TAG_DATAFLOW, body);
+                                    if tracing {
+                                        sink.record(
+                                            TraceEvent::span(
+                                                SpanKind::MsgSend,
+                                                send_start,
+                                                now_ns(),
+                                                my_rank,
+                                                CONTROL_THREAD,
+                                            )
+                                            .with_task(id, pt.callback())
+                                            .with_message(route.dst, wire_bytes),
+                                        );
+                                    }
                                 }
                             }
                         }
+                        // One envelope per destination for this task's whole
+                        // fan-out.
+                        rel.flush_sends();
+                        dispatch_ready(
+                            &mut buffers, newly_ready, &pool, &mut inflight, &mut stats, tracing,
+                        );
                     }
-                    dispatch_ready(&mut buffers, newly_ready, &work_tx, &mut inflight, tracing);
-                }
-                Select2::B(env) => {
-                    rel.handle(env);
-                }
-                Select2::DisconnectedA => {
-                    return Err(ControllerError::Runtime("worker pool died".into()));
-                }
-                Select2::DisconnectedB => {
-                    return Err(ControllerError::Runtime("world torn down".into()));
-                }
-                Select2::Timeout => {
-                    rel.tick();
-                    // Re-fire tasks whose completion is overdue — their
-                    // worker died holding them. Idempotence makes the
-                    // duplicate execution harmless; `completed` dedups.
-                    let now = Instant::now();
-                    for inf in inflight.values_mut() {
-                        if now.duration_since(inf.dispatched_at) >= refire_after
-                            && inf.refires < MAX_TASK_RETRIES
-                        {
-                            inf.refires += 1;
-                            inf.dispatched_at = now;
-                            stats.recovery.retries += 1;
-                            work_tx
-                                .send(WorkItem {
-                                    task: inf.task.clone(),
+                    Select2::B(env) => {
+                        rel.handle(env);
+                    }
+                    Select2::DisconnectedA => {
+                        return Err(ControllerError::Runtime("worker pool died".into()));
+                    }
+                    Select2::DisconnectedB => {
+                        return Err(ControllerError::Runtime("world torn down".into()));
+                    }
+                    Select2::Timeout => {
+                        rel.tick();
+                        // Re-fire tasks whose completion is overdue — their
+                        // worker died holding them. Idempotence makes the
+                        // duplicate execution harmless; `completed` dedups.
+                        let now = Instant::now();
+                        for inf in inflight.values_mut() {
+                            if now.duration_since(inf.dispatched_at) >= refire_after
+                                && inf.refires < MAX_TASK_RETRIES
+                            {
+                                inf.refires += 1;
+                                inf.dispatched_at = now;
+                                stats.recovery.retries += 1;
+                                stats.perf.payload_clones += inf.inputs.len() as u64;
+                                pool.push(WorkItem {
+                                    ix: inf.ix,
                                     inputs: inf.inputs.clone(),
                                     ready_ns: if tracing { now_ns() } else { 0 },
-                                })
-                                .expect("workers alive");
+                                });
+                            }
                         }
-                    }
-                    if last_progress.elapsed() >= timeout {
-                        let mut pending: Vec<TaskId> =
-                            buffers.keys().copied().chain(inflight.keys().copied()).collect();
-                        pending.sort();
-                        return Err(ControllerError::Deadlock { pending });
+                        if last_progress.elapsed() >= timeout {
+                            let mut pending: Vec<TaskId> =
+                                buffers.keys().copied().chain(inflight.keys().copied()).collect();
+                            pending.sort();
+                            return Err(ControllerError::Deadlock { pending });
+                        }
                     }
                 }
             }
-        }
 
-        drop(work_tx);
-        Ok((outputs, stats))
+            Ok((outputs, stats))
+        })();
+
+        // Release the workers whether the loop succeeded or not; the scope
+        // join below needs them to exit.
+        pool.close();
+        result
     })
 }

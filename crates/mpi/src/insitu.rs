@@ -20,8 +20,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use babelflow_core::{
-    ControllerError, InitialInputs, Payload, Registry, Result, RunStats, ShardId, TaskGraph,
-    TaskId, TaskMap,
+    ControllerError, InitialInputs, Payload, Registry, Result, RunStats, ShardId, ShardPlan,
+    TaskGraph, TaskId, TaskMap,
 };
 
 use crate::comm::World;
@@ -32,6 +32,9 @@ pub struct InSituWorld {
     graph: Arc<dyn TaskGraph>,
     map: Arc<dyn TaskMap>,
     registry: Arc<Registry>,
+    /// Built once here; every rank executes from the shared plan without
+    /// touching the procedural graph again.
+    plan: Arc<ShardPlan>,
     workers_per_rank: usize,
     timeout: Duration,
 }
@@ -39,10 +42,12 @@ pub struct InSituWorld {
 impl InSituWorld {
     /// Prepare a dataflow for the given graph, placement, and callbacks.
     pub fn new(graph: Arc<dyn TaskGraph>, map: Arc<dyn TaskMap>, registry: Registry) -> Self {
+        let plan = Arc::new(ShardPlan::build(&*graph, &*map));
         InSituWorld {
             graph,
             map,
             registry: Arc::new(registry),
+            plan,
             workers_per_rank: 2,
             timeout: DEFAULT_TIMEOUT,
         }
@@ -75,6 +80,7 @@ impl InSituWorld {
                 graph: self.graph.clone(),
                 map: self.map.clone(),
                 registry: self.registry.clone(),
+                plan: self.plan.clone(),
                 workers: self.workers_per_rank,
                 timeout: self.timeout,
             })
@@ -88,6 +94,7 @@ pub struct InSituRank {
     graph: Arc<dyn TaskGraph>,
     map: Arc<dyn TaskMap>,
     registry: Arc<Registry>,
+    plan: Arc<ShardPlan>,
     workers: usize,
     timeout: Duration,
 }
@@ -133,8 +140,7 @@ impl InSituRank {
         }
         rank_main(
             self.ep,
-            &*self.graph,
-            &*self.map,
+            &self.plan,
             &self.registry,
             local_inputs,
             self.workers,

@@ -1,6 +1,6 @@
 //! Reliable delivery on top of the faultable transport: ack/retransmit
-//! with exponential backoff, sequence numbering, in-order restore, and
-//! duplicate suppression.
+//! with exponential backoff, sequence numbering, in-order restore,
+//! duplicate suppression, and batched (coalesced) channel operations.
 //!
 //! [`RankComm`] deliberately models a lossy network when a
 //! [`FaultPlan`](crate::comm::FaultPlan) is armed: messages can be
@@ -11,11 +11,26 @@
 //!
 //! * every data message is framed with a per-destination logical sequence
 //!   number and retained until the receiver acknowledges it;
+//! * sends are *staged* per destination and coalesced into one
+//!   [`TAG_BATCH`] envelope per [`flush_sends`] (or when the
+//!   [`batch_limit`](ReliableEndpoint::with_batch_limit) is reached), so a
+//!   task fanning out many messages costs one channel operation per
+//!   destination instead of one per message — a single-part flush skips
+//!   the batch header entirely. A batch consumes *one* fault sequence
+//!   number: an injected fault hits the whole batch and the protocol
+//!   recovers every part together. Per-(src, dst) FIFO order is preserved
+//!   because parts are packed in send order and unpacked in order;
 //! * unacknowledged messages are retransmitted on [`tick`] with
-//!   exponential backoff;
-//! * the receiver acks every arrival (even duplicates — the original ack
-//!   may itself have been lost), delivers in sequence order via a
-//!   reorder buffer, and counts suppressed duplicates;
+//!   exponential backoff, re-batched per destination in sequence order;
+//! * the receiver acks every accepted arrival (even duplicates — the
+//!   original ack may itself have been lost), batching all acks triggered
+//!   by one incoming envelope into one reply envelope, delivers in
+//!   sequence order via a *bounded* reorder buffer, and counts suppressed
+//!   duplicates. Arrivals beyond the
+//!   [`reorder window`](ReliableEndpoint::with_reorder_window) are dropped
+//!   *without* an ack — the sender retransmits once the window has
+//!   advanced — so duplicate-suppression and reordering state stay
+//!   bounded per source no matter how far a runaway sender races ahead;
 //! * acks travel over the same faultable transport and consume fault
 //!   sequence numbers too, so an injected fault may hit data, ack, or
 //!   retransmit — the protocol converges regardless.
@@ -23,20 +38,22 @@
 //! Shutdown is the subtle part: a rank that finished its own tasks must
 //! keep servicing acks until *every* rank is done, otherwise a peer's
 //! retransmit would land in a torn-down inbox forever. [`flush`] runs the
-//! two-phase barrier: drain until all own sends are acked, declare
-//! finished ([`RankComm::mark_finished`]), then linger — re-acking
-//! whatever still arrives — until the whole world is finished.
+//! two-phase barrier: transmit anything still staged, drain until all own
+//! sends are acked, declare finished ([`RankComm::mark_finished`]), then
+//! linger — re-acking whatever still arrives — until the whole world is
+//! finished.
 //!
 //! [`tick`]: ReliableEndpoint::tick
 //! [`flush`]: ReliableEndpoint::flush
+//! [`flush_sends`]: ReliableEndpoint::flush_sends
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use babelflow_core::channel::Receiver;
-use babelflow_core::{Bytes, RecoveryStats};
+use babelflow_core::{Bytes, BytesMut, RecoveryStats};
 
-use crate::comm::{Envelope, RankComm};
+use crate::comm::{pack_batch, unpack_batch, Envelope, RankComm, TAG_BATCH};
 
 /// Tag reserved for acknowledgements (controllers use small tags; the
 /// dataflow tag is 0).
@@ -45,6 +62,15 @@ pub const TAG_ACK: u32 = u32::MAX;
 /// Initial retransmit timeout; doubles per attempt (capped) so a
 /// persistently lossy link backs off instead of flooding.
 pub const BASE_RTO: Duration = Duration::from_millis(20);
+
+/// Default cap on parts staged per destination before an automatic
+/// [`flush_sends`](ReliableEndpoint::flush_sends) of that destination.
+pub const DEFAULT_BATCH_LIMIT: usize = 64;
+
+/// Default reorder window: out-of-order arrivals this far (or further)
+/// ahead of the next expected sequence number are dropped unacked, keeping
+/// per-source reorder/dedup memory bounded at `window - 1` entries.
+pub const DEFAULT_REORDER_WINDOW: u64 = 1024;
 
 /// A sent-but-unacknowledged message retained for retransmission.
 struct Pending {
@@ -72,14 +98,34 @@ pub struct ReliableEndpoint {
     next_seq: Vec<u64>,
     /// Sent and not yet acked, keyed (dst, seq).
     unacked: HashMap<(usize, u64), Pending>,
+    /// Staged, not-yet-transmitted sends per destination: (seq, tag).
+    /// The framed bytes live in `unacked`; staging holds only the key.
+    outbox: Vec<Vec<(u64, u32)>>,
+    /// Ack sequence numbers staged per source, flushed as one envelope
+    /// after each incoming envelope is fully processed.
+    ack_stage: Vec<Vec<u64>>,
+    /// Auto-flush threshold for `outbox` entries.
+    batch_limit: usize,
     /// Next expected sequence number per source rank.
     next_expected: Vec<u64>,
     /// Out-of-order arrivals per source, waiting for the gap to fill.
+    /// Bounded: only seqs in `(expected, expected + reorder_window)` are
+    /// ever stored.
     reorder: Vec<BTreeMap<u64, (u32, Bytes)>>,
+    /// Acceptance horizon for out-of-order arrivals.
+    reorder_window: u64,
     /// In-order messages ready for the application: (src, tag, body).
     ready: VecDeque<(usize, u32, Bytes)>,
+    /// Reusable staging buffer for batch encoding (capacity persists
+    /// across batches; see [`BytesMut::freeze_reuse`]).
+    stage: BytesMut,
     /// Protocol counters, merged into the run's `RunStats`.
     pub stats: RecoveryStats,
+    /// Channel operations issued by this endpoint (data, acks, batches,
+    /// retransmits — every `isend`).
+    pub envelopes_sent: u64,
+    /// How many of those envelopes were multi-part [`TAG_BATCH`] frames.
+    pub batches_sent: u64,
 }
 
 fn frame(seq: u64, body: &Bytes) -> Bytes {
@@ -110,11 +156,32 @@ impl ReliableEndpoint {
             ep,
             next_seq: vec![0; n],
             unacked: HashMap::new(),
+            outbox: vec![Vec::new(); n],
+            ack_stage: vec![Vec::new(); n],
+            batch_limit: DEFAULT_BATCH_LIMIT,
             next_expected: vec![0; n],
             reorder: (0..n).map(|_| BTreeMap::new()).collect(),
+            reorder_window: DEFAULT_REORDER_WINDOW,
             ready: VecDeque::new(),
+            stage: BytesMut::new(),
             stats: RecoveryStats::default(),
+            envelopes_sent: 0,
+            batches_sent: 0,
         }
+    }
+
+    /// Set the per-destination staging cap (minimum 1). Mostly a test
+    /// knob; the default is [`DEFAULT_BATCH_LIMIT`].
+    pub fn with_batch_limit(mut self, limit: usize) -> Self {
+        self.batch_limit = limit.max(1);
+        self
+    }
+
+    /// Set the reorder window (minimum 1). Mostly a test knob; the
+    /// default is [`DEFAULT_REORDER_WINDOW`].
+    pub fn with_reorder_window(mut self, window: u64) -> Self {
+        self.reorder_window = window.max(1);
+        self
     }
 
     /// This endpoint's rank.
@@ -134,24 +201,93 @@ impl ReliableEndpoint {
     }
 
     /// Send `body` to `dst` reliably: frame it with the next sequence
-    /// number, retain it for retransmission, and fire it off.
+    /// number, retain it for retransmission, and stage it. Nothing hits
+    /// the wire until [`flush_sends`](Self::flush_sends) (called by
+    /// [`tick`](Self::tick) and [`flush`](Self::flush)) or the batch
+    /// limit forces a flush of this destination.
     pub fn send(&mut self, dst: usize, tag: u32, body: Bytes) {
         let seq = self.next_seq[dst];
         self.next_seq[dst] += 1;
         let framed = frame(seq, &body);
-        self.ep.isend(dst, tag, framed.clone());
         self.unacked.insert(
             (dst, seq),
             Pending { tag, framed, sent_at: Instant::now(), attempts: 0 },
         );
+        self.outbox[dst].push((seq, tag));
+        if self.outbox[dst].len() >= self.batch_limit {
+            self.flush_dst(dst);
+        }
+    }
+
+    /// Transmit everything staged, one envelope per destination with
+    /// pending parts. Call after producing a burst of sends (e.g. routing
+    /// one task's outputs) to coalesce them.
+    pub fn flush_sends(&mut self) {
+        for dst in 0..self.outbox.len() {
+            self.flush_dst(dst);
+        }
+    }
+
+    fn flush_dst(&mut self, dst: usize) {
+        if self.outbox[dst].is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.outbox[dst]);
+        let now = Instant::now();
+        let parts: Vec<(u32, Bytes)> = staged
+            .iter()
+            .filter_map(|&(seq, tag)| {
+                let pending = self.unacked.get_mut(&(dst, seq))?;
+                // The RTO clock starts at actual transmission, not at
+                // staging time.
+                pending.sent_at = now;
+                Some((tag, pending.framed.clone()))
+            })
+            .collect();
+        self.transmit(dst, parts);
+    }
+
+    /// Issue one channel operation carrying `parts` to `dst`: a plain
+    /// envelope for a single part, a [`TAG_BATCH`] envelope otherwise.
+    fn transmit(&mut self, dst: usize, mut parts: Vec<(u32, Bytes)>) {
+        match parts.len() {
+            0 => {}
+            1 => {
+                let (tag, framed) = parts.pop().expect("one part");
+                self.ep.isend(dst, tag, framed);
+                self.envelopes_sent += 1;
+            }
+            _ => {
+                let packed = pack_batch(&parts, &mut self.stage);
+                self.ep.isend(dst, TAG_BATCH, packed);
+                self.envelopes_sent += 1;
+                self.batches_sent += 1;
+            }
+        }
     }
 
     /// Process one raw envelope: consume acks, ack + order + dedup data.
     /// In-order data becomes available via [`pop_ready`](Self::pop_ready).
+    /// All acks the envelope triggers go out as one reply envelope.
     pub fn handle(&mut self, env: Envelope) {
-        if env.tag == TAG_ACK {
-            if let Some((seq, _)) = unframe(&env.body) {
-                if self.unacked.remove(&(env.src, seq)).is_none() {
+        let src = env.src;
+        if env.tag == TAG_BATCH {
+            if let Some(parts) = unpack_batch(&env.body) {
+                for (tag, body) in parts {
+                    self.handle_part(src, tag, body);
+                }
+            }
+            // else: malformed batch — drop whole; retransmit recovers.
+        } else {
+            self.handle_part(src, env.tag, env.body);
+        }
+        self.flush_acks(src);
+    }
+
+    fn handle_part(&mut self, src: usize, tag: u32, body: Bytes) {
+        if tag == TAG_ACK {
+            if let Some((seq, _)) = unframe(&body) {
+                if self.unacked.remove(&(src, seq)).is_none() {
                     // An ack for something no longer pending is itself a
                     // duplicate (re-ack of a retransmit, or a transport
                     // duplicate of the ack) — count it as suppressed.
@@ -160,30 +296,46 @@ impl ReliableEndpoint {
             }
             return;
         }
-        let Some((seq, body)) = unframe(&env.body) else {
+        let Some((seq, body)) = unframe(&body) else {
             return; // unframeable garbage: drop (a retransmit will follow)
         };
-        // Always ack, even duplicates — the previous ack may have been the
-        // casualty of the fault plan.
-        self.ep.isend(env.src, TAG_ACK, ack_body(seq));
-        let expected = self.next_expected[env.src];
+        let expected = self.next_expected[src];
         if seq < expected {
+            // Ack even duplicates — the previous ack may have been the
+            // casualty of the fault plan.
+            self.ack_stage[src].push(seq);
             self.stats.duplicates_suppressed += 1;
             return;
         }
+        if seq >= expected + self.reorder_window {
+            // Beyond the reorder window: drop *without* acking, so the
+            // sender retransmits once the window has advanced. This bounds
+            // reorder-buffer memory at `window - 1` entries per source.
+            return;
+        }
+        self.ack_stage[src].push(seq);
         if seq > expected {
-            if self.reorder[env.src].insert(seq, (env.tag, body)).is_some() {
+            if self.reorder[src].insert(seq, (tag, body)).is_some() {
                 self.stats.duplicates_suppressed += 1;
             }
             return;
         }
-        self.ready.push_back((env.src, env.tag, body));
-        self.next_expected[env.src] += 1;
+        self.ready.push_back((src, tag, body));
+        self.next_expected[src] += 1;
         // Drain any buffered successors the gap was holding back.
-        while let Some((tag, body)) = self.reorder[env.src].remove(&self.next_expected[env.src]) {
-            self.ready.push_back((env.src, tag, body));
-            self.next_expected[env.src] += 1;
+        while let Some((tag, body)) = self.reorder[src].remove(&self.next_expected[src]) {
+            self.ready.push_back((src, tag, body));
+            self.next_expected[src] += 1;
         }
+    }
+
+    fn flush_acks(&mut self, src: usize) {
+        if self.ack_stage[src].is_empty() {
+            return;
+        }
+        let seqs = std::mem::take(&mut self.ack_stage[src]);
+        let parts: Vec<(u32, Bytes)> = seqs.iter().map(|&s| (TAG_ACK, ack_body(s))).collect();
+        self.transmit(src, parts);
     }
 
     /// Next in-order message, if any: `(src_rank, tag, body)`.
@@ -191,21 +343,43 @@ impl ReliableEndpoint {
         self.ready.pop_front()
     }
 
-    /// Retransmit every overdue unacknowledged message (exponential
-    /// backoff per message). Call periodically from the progress loop.
+    /// Transmit staged sends, then retransmit every overdue
+    /// unacknowledged message (exponential backoff per message),
+    /// re-batched per destination in sequence order. Call periodically
+    /// from the progress loop.
     pub fn tick(&mut self) {
+        self.flush_sends();
         let now = Instant::now();
-        for (&(dst, _), pending) in self.unacked.iter_mut() {
-            if pending.overdue(now) {
-                self.ep.isend(dst, pending.tag, pending.framed.clone());
+        let mut overdue: Vec<(usize, u64)> = self
+            .unacked
+            .iter()
+            .filter(|(_, p)| p.overdue(now))
+            .map(|(&k, _)| k)
+            .collect();
+        if overdue.is_empty() {
+            return;
+        }
+        // Group per destination, ascending seq, so retransmit batches
+        // preserve per-(src, dst) FIFO order too.
+        overdue.sort_unstable();
+        let mut i = 0;
+        while i < overdue.len() {
+            let dst = overdue[i].0;
+            let mut parts = Vec::new();
+            while i < overdue.len() && overdue[i].0 == dst {
+                let key = overdue[i];
+                let pending = self.unacked.get_mut(&key).expect("still pending");
                 pending.sent_at = now;
                 pending.attempts += 1;
                 self.stats.retransmits += 1;
+                parts.push((pending.tag, pending.framed.clone()));
+                i += 1;
             }
+            self.transmit(dst, parts);
         }
     }
 
-    /// Whether every send has been acknowledged.
+    /// Whether every send has been transmitted and acknowledged.
     pub fn all_acked(&self) -> bool {
         self.unacked.is_empty()
     }
@@ -216,12 +390,14 @@ impl ReliableEndpoint {
         self.ep.mark_finished();
     }
 
-    /// Two-phase shutdown, bounded by `stall`: (1) drain until all own
-    /// sends are acked, (2) mark this rank finished and linger — re-acking
-    /// retransmits — until every rank is finished. Returns false if the
-    /// deadline expired first (a peer died without marking itself
-    /// finished); the caller's own results are complete either way.
+    /// Two-phase shutdown, bounded by `stall`: (1) transmit staged sends
+    /// and drain until all own sends are acked, (2) mark this rank
+    /// finished and linger — re-acking retransmits — until every rank is
+    /// finished. Returns false if the deadline expired first (a peer died
+    /// without marking itself finished); the caller's own results are
+    /// complete either way.
     pub fn flush(&mut self, stall: Duration) -> bool {
+        self.flush_sends();
         let deadline = Instant::now() + stall;
         let poll = Duration::from_millis(2);
         while !self.all_acked() {
@@ -254,8 +430,14 @@ mod tests {
 
     fn exchange(faults: FaultPlan, messages: u64) -> (RecoveryStats, RecoveryStats) {
         let mut w = World::with_faults(2, faults);
-        let mut eps: Vec<ReliableEndpoint> =
-            w.endpoints().into_iter().map(ReliableEndpoint::new).collect();
+        // batch_limit 1 keeps one envelope per message so the fault plans
+        // below line up with individual sends; coalescing has its own
+        // tests.
+        let mut eps: Vec<ReliableEndpoint> = w
+            .endpoints()
+            .into_iter()
+            .map(|ep| ReliableEndpoint::new(ep).with_batch_limit(1))
+            .collect();
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
         let stats = std::thread::scope(|s| {
@@ -314,8 +496,9 @@ mod tests {
 
     #[test]
     fn dropped_ack_causes_retransmit_and_suppression() {
-        // Rank 1's first send is its ack for seq 0: dropping it forces a
-        // data retransmit (rank 0) and a duplicate suppression (rank 1).
+        // Rank 1's first send is its ack envelope for rank 0's first
+        // flush: dropping it forces a data retransmit (rank 0) and a
+        // duplicate suppression (rank 1).
         let faults = FaultPlan { drop: vec![(1, 0, 0)], ..FaultPlan::none() };
         let (a, b) = exchange(faults, 4);
         assert!(a.retransmits > 0, "{a:?}");
@@ -346,5 +529,134 @@ mod tests {
         };
         let (a, b) = exchange(faults, 12);
         assert!(a.retransmits + b.retransmits > 0);
+    }
+
+    #[test]
+    fn staged_sends_coalesce_into_one_envelope() {
+        let mut w = World::new(2);
+        let mut eps: Vec<ReliableEndpoint> =
+            w.endpoints().into_iter().map(ReliableEndpoint::new).collect();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for i in 0..5u8 {
+            a.send(1, 7, Bytes::from(vec![i]));
+        }
+        assert_eq!(w.delivered(), 0, "staged sends are not yet on the wire");
+        a.flush_sends();
+        assert_eq!(w.delivered(), 1, "five sends coalesce into one envelope");
+        assert_eq!((a.envelopes_sent, a.batches_sent), (1, 1));
+        let env = b.ep.recv_timeout(Duration::from_millis(200)).unwrap();
+        assert_eq!(env.tag, TAG_BATCH);
+        b.handle(env);
+        for i in 0..5u8 {
+            let (src, tag, body) = b.pop_ready().unwrap();
+            assert_eq!((src, tag, body.as_ref()), (0, 7, &[i][..]));
+        }
+        // The receiver's five acks coalesced into one reply envelope too.
+        assert_eq!((b.envelopes_sent, b.batches_sent), (1, 1));
+        let acks = a.ep.recv_timeout(Duration::from_millis(200)).unwrap();
+        a.handle(acks);
+        assert!(a.all_acked());
+    }
+
+    #[test]
+    fn batch_limit_forces_early_flush() {
+        let mut w = World::new(2);
+        let mut eps = w.endpoints();
+        let _b = eps.pop().unwrap();
+        let mut a = ReliableEndpoint::new(eps.pop().unwrap()).with_batch_limit(2);
+        a.send(1, 7, Bytes::from_static(b"x"));
+        assert_eq!(w.delivered(), 0);
+        a.send(1, 7, Bytes::from_static(b"y"));
+        assert_eq!(w.delivered(), 1, "hitting the limit flushes the pair");
+        a.send(1, 7, Bytes::from_static(b"z"));
+        a.flush_sends();
+        assert_eq!(w.delivered(), 2, "single leftover goes out unbatched");
+        assert_eq!((a.envelopes_sent, a.batches_sent), (2, 1));
+    }
+
+    #[test]
+    fn out_of_window_arrivals_are_dropped_unacked() {
+        let mut w = World::new(2);
+        let mut eps = w.endpoints();
+        let mut b = ReliableEndpoint::new(eps.pop().unwrap()).with_reorder_window(2);
+        let _a = eps.pop().unwrap();
+        let part = |seq: u64| Envelope {
+            src: 0,
+            tag: 7,
+            body: frame(seq, &Bytes::from_static(b"p")),
+        };
+        // seq 3 is >= expected(0) + window(2): dropped, no ack, no state.
+        b.handle(part(3));
+        assert!(b.reorder[0].is_empty());
+        assert_eq!(b.envelopes_sent, 0, "no ack for an out-of-window arrival");
+        // seq 1 is in-window: buffered and acked.
+        b.handle(part(1));
+        assert_eq!(b.reorder[0].len(), 1);
+        assert_eq!(b.envelopes_sent, 1);
+        // seq 0 fills the gap: both deliver, window advances.
+        b.handle(part(0));
+        assert_eq!(b.pop_ready().map(|(_, _, body)| body.len()), Some(1));
+        assert!(b.pop_ready().is_some());
+        assert!(b.reorder[0].is_empty());
+        // seq 3 is now in-window (expected 2, window 2) and is accepted.
+        b.handle(part(3));
+        assert_eq!(b.reorder[0].len(), 1);
+    }
+
+    #[test]
+    fn random_fault_plans_preserve_fifo_exactly_once() {
+        // The per-(src, dst) FIFO property test from the issue: both
+        // directions at once, under randomized drop/duplicate/delay
+        // plans, with batching in the path (the sender flushes every few
+        // sends so batches of varying width hit the wire).
+        for seed in 0..12u64 {
+            let faults = FaultPlan::random(seed, 2, &[]).message_faults();
+            let mut w = World::with_faults(2, faults);
+            let eps: Vec<ReliableEndpoint> =
+                w.endpoints().into_iter().map(ReliableEndpoint::new).collect();
+            std::thread::scope(|s| {
+                for ep in eps {
+                    s.spawn(move || {
+                        let mut ep = ep;
+                        let me = ep.rank();
+                        let peer = 1 - me;
+                        let messages = 10u64;
+                        let mut got = Vec::new();
+                        let mut sent = 0u64;
+                        let deadline = Instant::now() + Duration::from_secs(10);
+                        while (got.len() as u64) < messages {
+                            assert!(
+                                Instant::now() < deadline,
+                                "rank {me} stalled at {got:?} (seed {seed})"
+                            );
+                            // Send in bursts of three so batches form.
+                            for _ in 0..3 {
+                                if sent < messages {
+                                    ep.send(peer, 7, Bytes::from(sent.to_le_bytes().to_vec()));
+                                    sent += 1;
+                                }
+                            }
+                            ep.tick();
+                            if let Some(env) = ep.ep.recv_timeout(Duration::from_millis(2)) {
+                                ep.handle(env);
+                            }
+                            while let Some((src, tag, body)) = ep.pop_ready() {
+                                assert_eq!((src, tag), (peer, 7));
+                                got.push(u64::from_le_bytes(
+                                    body.as_ref().try_into().unwrap(),
+                                ));
+                            }
+                        }
+                        assert_eq!(
+                            got,
+                            (0..messages).collect::<Vec<_>>(),
+                            "rank {me} FIFO violated (seed {seed})"
+                        );
+                        assert!(ep.flush(Duration::from_secs(10)), "rank {me} flush (seed {seed})");
+                    });
+                }
+            });
+        }
     }
 }

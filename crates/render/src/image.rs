@@ -55,31 +55,71 @@ impl ImageFragment {
         self.rgba.iter().map(|p| p[3]).sum()
     }
 
+    /// Row `y` (absolute) as `(absolute x0, samples)`, when covered.
+    #[inline]
+    fn row(&self, y: u32) -> Option<(u32, &[[f32; 4]])> {
+        let (x0, y0, w, h) = self.rect;
+        if w == 0 || y < y0 || y >= y0 + h {
+            return None;
+        }
+        let start = ((y - y0) * w) as usize;
+        Some((x0, &self.rgba[start..start + w as usize]))
+    }
+
     /// Composite `front` OVER `back` (premultiplied alpha). The result
     /// covers the union of both rects; uncovered area of either input is
     /// treated as transparent. The result's depth is the nearer depth.
+    ///
+    /// The union buffer is written exactly once: each output row is built
+    /// from at most four contiguous spans (front-only, back-only, overlap,
+    /// uncovered), blending whole slices instead of probing both inputs per
+    /// pixel.
     pub fn over(front: &ImageFragment, back: &ImageFragment) -> ImageFragment {
         debug_assert_eq!(front.full, back.full, "fragments from different images");
         let x0 = front.rect.0.min(back.rect.0);
         let y0 = front.rect.1.min(back.rect.1);
         let x1 = (front.rect.0 + front.rect.2).max(back.rect.0 + back.rect.2);
         let y1 = (front.rect.1 + front.rect.3).max(back.rect.1 + back.rect.3);
-        let mut out = ImageFragment::empty(
-            front.full,
-            (x0, y0, x1 - x0, y1 - y0),
-            front.depth.min(back.depth),
-        );
+        let (w, h) = (x1 - x0, y1 - y0);
+        let mut rgba: Vec<[f32; 4]> = Vec::with_capacity((w as usize) * (h as usize));
         for y in y0..y1 {
-            for x in x0..x1 {
-                let f = front.at_absolute(x, y).unwrap_or([0.0; 4]);
-                let b = back.at_absolute(x, y).unwrap_or([0.0; 4]);
-                let t = 1.0 - f[3];
-                let i = ((y - y0) * (x1 - x0) + (x - x0)) as usize;
-                out.rgba[i] =
-                    [f[0] + t * b[0], f[1] + t * b[1], f[2] + t * b[2], f[3] + t * b[3]];
+            let fr = front.row(y);
+            let br = back.row(y);
+            // Span boundaries: the row changes character only where an
+            // input's coverage starts or ends.
+            let (fa, fb) = fr.map_or((x1, x1), |(fx, s)| (fx, fx + s.len() as u32));
+            let (ba, bb) = br.map_or((x1, x1), |(bx, s)| (bx, bx + s.len() as u32));
+            let mut cuts = [x0, fa.clamp(x0, x1), fb.clamp(x0, x1), ba.clamp(x0, x1), bb.clamp(x0, x1), x1];
+            cuts.sort_unstable();
+            for pair in cuts.windows(2) {
+                let (s, e) = (pair[0], pair[1]);
+                if s >= e {
+                    continue;
+                }
+                let f = (s >= fa && e <= fb)
+                    .then(|| &fr.expect("span inside front coverage").1[(s - fa) as usize..(e - fa) as usize]);
+                let b = (s >= ba && e <= bb)
+                    .then(|| &br.expect("span inside back coverage").1[(s - ba) as usize..(e - ba) as usize]);
+                match (f, b) {
+                    (Some(f), Some(b)) => rgba.extend(f.iter().zip(b).map(|(f, b)| {
+                        let t = 1.0 - f[3];
+                        [f[0] + t * b[0], f[1] + t * b[1], f[2] + t * b[2], f[3] + t * b[3]]
+                    })),
+                    // Premultiplied: blending against transparency is the
+                    // identity, so sole coverage is a straight copy.
+                    (Some(f), None) => rgba.extend_from_slice(f),
+                    (None, Some(b)) => rgba.extend_from_slice(b),
+                    (None, None) => rgba.resize(rgba.len() + (e - s) as usize, [0.0; 4]),
+                }
             }
         }
-        out
+        debug_assert_eq!(rgba.len(), (w as usize) * (h as usize));
+        ImageFragment {
+            full: front.full,
+            rect: (x0, y0, w, h),
+            rgba,
+            depth: front.depth.min(back.depth),
+        }
     }
 
     /// Composite two fragments in depth order (nearer one in front).
@@ -228,6 +268,60 @@ mod tests {
         assert_eq!(o.at_absolute(0, 0).unwrap(), [0.2, 0.0, 0.0, 0.2]);
         assert_eq!(o.at_absolute(3, 3).unwrap(), [0.0, 0.3, 0.0, 0.3]);
         assert_eq!(o.at_absolute(0, 3).unwrap(), [0.0; 4]);
+    }
+
+    /// The per-pixel formulation the row-sliced `over` replaced; kept as
+    /// the oracle for the equivalence test below.
+    fn over_reference(front: &ImageFragment, back: &ImageFragment) -> ImageFragment {
+        let x0 = front.rect.0.min(back.rect.0);
+        let y0 = front.rect.1.min(back.rect.1);
+        let x1 = (front.rect.0 + front.rect.2).max(back.rect.0 + back.rect.2);
+        let y1 = (front.rect.1 + front.rect.3).max(back.rect.1 + back.rect.3);
+        let mut out = ImageFragment::empty(
+            front.full,
+            (x0, y0, x1 - x0, y1 - y0),
+            front.depth.min(back.depth),
+        );
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let f = front.at_absolute(x, y).unwrap_or([0.0; 4]);
+                let b = back.at_absolute(x, y).unwrap_or([0.0; 4]);
+                let t = 1.0 - f[3];
+                let i = ((y - y0) * (x1 - x0) + (x - x0)) as usize;
+                out.rgba[i] =
+                    [f[0] + t * b[0], f[1] + t * b[1], f[2] + t * b[2], f[3] + t * b[3]];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn row_sliced_over_matches_per_pixel_reference() {
+        // Every overlap shape: nested, offset-overlapping, row-disjoint,
+        // column-disjoint, fully disjoint, and empty-width fragments.
+        let full = (8, 8);
+        let rects: [(u32, u32, u32, u32); 6] =
+            [(0, 0, 8, 8), (2, 2, 3, 3), (4, 0, 4, 5), (0, 6, 8, 2), (5, 5, 3, 3), (1, 3, 0, 0)];
+        let mut k = 0.0f32;
+        for &ra in &rects {
+            for &rb in &rects {
+                let mut a = ImageFragment::empty(full, ra, 1.0);
+                let mut b = ImageFragment::empty(full, rb, 2.0);
+                for p in a.rgba.iter_mut() {
+                    k += 0.1;
+                    *p = [k % 1.0, 0.3, 0.2, 0.5];
+                }
+                for p in b.rgba.iter_mut() {
+                    k += 0.1;
+                    *p = [0.1, k % 1.0, 0.4, 0.8];
+                }
+                assert_eq!(
+                    ImageFragment::over(&a, &b),
+                    over_reference(&a, &b),
+                    "front {ra:?} over back {rb:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,10 @@
 # must succeed offline against an empty registry (see DESIGN.md §7).
 set -eux
 
+# The workspace is warning-clean and stays that way: one export up front
+# so every cargo invocation below shares the same flags (and cache).
+export RUSTFLAGS="-D warnings"
+
 cargo build --release --offline
 cargo test -q --offline
 
@@ -25,3 +29,9 @@ cargo run --release --offline --example fault_drill
 # 1.5x band, or if the 1024-leaf k-way reduction's legacy-vs-plan query
 # ratio drops below 10x (see DESIGN.md §12).
 cargo run --release --offline -p babelflow-bench --bin perf_smoke -- --check
+
+# Verifier smoke: every graph family must lint clean (zero diagnostics)
+# across task maps and shard counts, a traced run must pass the
+# happens-before checker, and a pure reduction must replay
+# byte-identically under permuted schedules (see DESIGN.md §13).
+cargo run --release --offline -p babelflow-bench --bin graph_lint

@@ -137,7 +137,7 @@ mod tests {
     fn persistent_panic_surfaces_as_task_error() {
         let g = Reduction::new(4, 2);
         let mut reg = sum_registry();
-        reg.register(CallbackId(2), |_, _| -> Vec<Payload> {
+        reg.rebind(CallbackId(2), |_, _| -> Vec<Payload> {
             panic!("{}", babelflow_core::PANIC_MARKER)
         });
         babelflow_core::quiet_panic_hook();

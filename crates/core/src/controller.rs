@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use crate::graph::TaskGraph;
 use crate::ids::{CallbackId, TaskId};
+use crate::lint::VerifyReport;
 use crate::payload::Payload;
 use crate::registry::Registry;
 use crate::taskmap::TaskMap;
@@ -174,6 +175,12 @@ impl std::fmt::Display for RecoveryStats {
 /// up front or observe during execution.
 #[derive(Debug)]
 pub enum ControllerError {
+    /// The structural lint found `Error`-level diagnostics, so the graph
+    /// cannot execute correctly; the report lists every finding with its
+    /// `BFnnn` code. Build the plan with
+    /// [`ShardPlan::lenient`](crate::plan::ShardPlan::lenient) to run
+    /// anyway and observe the failure where it actually bites.
+    LintRejected(VerifyReport),
     /// The graph advertises callbacks the registry does not bind.
     UnboundCallbacks(Vec<CallbackId>),
     /// `initial` is missing inputs for a task with external input slots, or
@@ -220,6 +227,9 @@ pub enum ControllerError {
 impl std::fmt::Display for ControllerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ControllerError::LintRejected(report) => {
+                write!(f, "graph rejected by lint:\n{report}")
+            }
             ControllerError::UnboundCallbacks(ids) => {
                 write!(f, "unbound callbacks: {ids:?}")
             }

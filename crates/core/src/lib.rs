@@ -62,6 +62,7 @@ pub mod exec;
 pub mod fault;
 pub mod graph;
 pub mod ids;
+pub mod lint;
 pub mod payload;
 pub mod plan;
 pub mod proptest_lite;
@@ -88,9 +89,10 @@ pub use fault::{
 pub use dot::{to_dot, to_dot_styled, to_dot_subset};
 pub use graph::{assert_valid, validate, ExplicitGraph, GraphDefect, TaskGraph};
 pub use ids::{CallbackId, ShardId, TaskId};
+pub use lint::{lint_bindings, lint_plan, Diagnostic, DiagnosticCode, Severity, VerifyReport};
 pub use payload::{Blob, Payload, PayloadData, PayloadError};
 pub use plan::{CountingGraph, PlanBuffer, PlanTask, Route, ShardPlan};
-pub use registry::{Callback, Registry};
+pub use registry::{Callback, DuplicateCallback, Registry};
 pub use serial::{canonical_outputs, run_serial, SerialController};
 pub use stats::{graph_stats, GraphStats};
 pub use task::Task;

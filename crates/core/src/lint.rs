@@ -1,0 +1,490 @@
+//! Coded structural diagnostics over graphs and plans.
+//!
+//! A [`TaskGraph`](crate::graph::TaskGraph) is handed to runtimes that
+//! assume it is executable; when it is not, the failure shows up far from
+//! the cause — a controller deadlocks, or a [`PlanBuffer`] silently drops
+//! a delivery. The lint passes in this module turn those latent defects
+//! into *coded diagnostics* at plan-build time, before any task runs:
+//!
+//! | Code | Name | Meaning |
+//! |---|---|---|
+//! | BF001 | `CycleDetected` | task participates in a dependency cycle |
+//! | BF002 | `DanglingEdge` | edge endpoint references a nonexistent task |
+//! | BF003 | `EdgeAsymmetry` | consumer wires more input slots from a producer than the producer sends — a slot that never fills |
+//! | BF004 | `UnregisteredCallback` | callback unbound in the registry, or bound with a declared arity the task contradicts |
+//! | BF005 | `UnmappedTask` | `TaskMap` places a task on an out-of-range shard (or the map's two directions disagree) |
+//! | BF006 | `UnreachableTask` | task can never become ready (downstream of a cycle, asymmetry, or dangling producer) |
+//! | BF007 | `FanInSlotCollision` | producer routes more messages to a consumer than it has slots wired — deliveries would collide in the [`PlanBuffer`] |
+//!
+//! [`ShardPlan::build`](crate::plan::ShardPlan::build) runs the
+//! structural passes once over its interned task table (zero extra
+//! procedural `task()` queries) and stores the [`VerifyReport`];
+//! [`ShardPlan::preflight`](crate::plan::ShardPlan::preflight) hard-fails
+//! on any `Error`-level diagnostic unless the plan was built
+//! [`lenient`](crate::plan::ShardPlan::lenient). The registry-dependent
+//! BF004 pass runs at preflight time, when a [`Registry`] is available.
+//!
+//! The full graph+map+registry driver (which adds the two-way `TaskMap`
+//! consistency check) and the dynamic trace-based checkers live in the
+//! `babelflow-verify` crate.
+//!
+//! [`PlanBuffer`]: crate::plan::PlanBuffer
+
+use std::collections::HashMap;
+
+use crate::ids::{CallbackId, TaskId};
+use crate::plan::PlanTask;
+use crate::registry::Registry;
+
+/// Stable identifier of one diagnostic class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagnosticCode {
+    /// BF001: the graph has a directed dependency cycle.
+    CycleDetected,
+    /// BF002: an edge endpoint references a task that does not exist.
+    DanglingEdge,
+    /// BF003: a consumer expects more inputs from a producer than the
+    /// producer's outgoing view sends — the extra slots never fill.
+    EdgeAsymmetry,
+    /// BF004: a callback is not bound in the registry, or a registered
+    /// arity declaration contradicts a task using the callback.
+    UnregisteredCallback,
+    /// BF005: the task map places a task on a shard outside
+    /// `0..num_shards`, or its two directions disagree about a task.
+    UnmappedTask,
+    /// BF006: the task can never become ready, so the dataflow would
+    /// stall with it pending.
+    UnreachableTask,
+    /// BF007: a producer routes more messages to a consumer than the
+    /// consumer has input slots wired to it, so deliveries collide.
+    FanInSlotCollision,
+}
+
+impl DiagnosticCode {
+    /// The stable `BFnnn` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagnosticCode::CycleDetected => "BF001",
+            DiagnosticCode::DanglingEdge => "BF002",
+            DiagnosticCode::EdgeAsymmetry => "BF003",
+            DiagnosticCode::UnregisteredCallback => "BF004",
+            DiagnosticCode::UnmappedTask => "BF005",
+            DiagnosticCode::UnreachableTask => "BF006",
+            DiagnosticCode::FanInSlotCollision => "BF007",
+        }
+    }
+}
+
+impl std::fmt::Display for DiagnosticCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is. `Error` means the graph cannot execute
+/// correctly; `Warning` means it will execute but something is suspect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note.
+    Info,
+    /// Suspicious but executable.
+    Warning,
+    /// The run would stall, drop data, or mis-route; preflight rejects it.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One coded finding, anchored to the task it was detected at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which class of defect.
+    pub code: DiagnosticCode,
+    /// How serious it is.
+    pub severity: Severity,
+    /// The task the finding is anchored to, if any.
+    pub task: Option<TaskId>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.task {
+            Some(t) => write!(f, "{} {}: [{}] {}", self.code, self.severity, t, self.message),
+            None => write!(f, "{} {}: {}", self.code, self.severity, self.message),
+        }
+    }
+}
+
+/// The outcome of a lint run: every diagnostic, in detection order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    diags: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a finding.
+    pub fn push(&mut self, code: DiagnosticCode, severity: Severity, task: Option<TaskId>, message: String) {
+        self.diags.push(Diagnostic { code, severity, task, message });
+    }
+
+    /// Fold another report's findings into this one.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All findings, in detection order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether no findings were recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Whether the report carries no `Error`-level findings (warnings and
+    /// infos are allowed on a "clean" graph).
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors()
+    }
+
+    /// Whether any finding is `Error`-level.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings of one code, in detection order.
+    pub fn of_code(&self, code: DiagnosticCode) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(move |d| d.code == code)
+    }
+
+    /// Number of findings of one code.
+    pub fn count(&self, code: DiagnosticCode) -> usize {
+        self.of_code(code).count()
+    }
+
+    /// The distinct codes present, ascending.
+    pub fn codes(&self) -> Vec<DiagnosticCode> {
+        let mut codes: Vec<DiagnosticCode> = self.diags.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.diags.is_empty() {
+            return write!(f, "clean (no diagnostics)");
+        }
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How many messages `producer` routes to `consumer`, summed over every
+/// output slot.
+fn out_edges(producer: &PlanTask, consumer: TaskId) -> usize {
+    producer
+        .routes
+        .iter()
+        .flatten()
+        .filter(|r| r.dst == consumer)
+        .count()
+}
+
+/// Structural lint over an interned task table: BF001, BF002, BF003,
+/// BF005, BF006, BF007. Runs in `O(V + E)` with no procedural graph
+/// queries; [`ShardPlan::build`](crate::plan::ShardPlan::build) calls
+/// this once and stores the result.
+pub fn lint_plan(
+    tasks: &[PlanTask],
+    index: &HashMap<TaskId, u32>,
+    num_shards: u32,
+) -> VerifyReport {
+    let mut rep = VerifyReport::new();
+    let pt_of = |id: TaskId| index.get(&id).map(|&ix| &tasks[ix as usize]);
+
+    for pt in tasks {
+        let id = pt.id();
+
+        // BF005: the map resolved this task to a shard that no rank hosts.
+        if pt.shard.0 >= num_shards {
+            rep.push(
+                DiagnosticCode::UnmappedTask,
+                Severity::Error,
+                Some(id),
+                format!(
+                    "mapped to shard {} but the map has only {num_shards} shards",
+                    pt.shard
+                ),
+            );
+        }
+
+        // Producer-side edges: BF002 for unknown destinations, BF007 for
+        // destinations that wire no slot back to this producer (the pair
+        // with *some* wired slots is judged from the consumer side below).
+        for route in pt.routes.iter().flatten() {
+            if route.is_external() {
+                continue;
+            }
+            match pt_of(route.dst) {
+                None => rep.push(
+                    DiagnosticCode::DanglingEdge,
+                    Severity::Error,
+                    Some(id),
+                    format!("output edge to nonexistent task {}", route.dst),
+                ),
+                Some(dst) => {
+                    if !dst.sources.iter().any(|(s, _)| *s == id) {
+                        rep.push(
+                            DiagnosticCode::FanInSlotCollision,
+                            Severity::Error,
+                            Some(route.dst),
+                            format!(
+                                "receives {} messages from {id} but wires no input slot to it",
+                                out_edges(pt, route.dst)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Consumer-side edges: BF002 for unknown producers, BF003 for
+        // slots that never fill, BF007 for deliveries that collide.
+        for (src, slots) in &pt.sources {
+            if src.is_external() {
+                continue;
+            }
+            let Some(producer) = pt_of(*src) else {
+                rep.push(
+                    DiagnosticCode::DanglingEdge,
+                    Severity::Error,
+                    Some(id),
+                    format!("input slot wired to nonexistent producer {src}"),
+                );
+                continue;
+            };
+            let in_n = slots.len();
+            let out_n = out_edges(producer, id);
+            if in_n > out_n {
+                rep.push(
+                    DiagnosticCode::EdgeAsymmetry,
+                    Severity::Error,
+                    Some(id),
+                    format!(
+                        "wires {in_n} input slots from {src} but {src} sends only {out_n} \
+                         messages; {} slots never fill",
+                        in_n - out_n
+                    ),
+                );
+            } else if out_n > in_n {
+                rep.push(
+                    DiagnosticCode::FanInSlotCollision,
+                    Severity::Error,
+                    Some(id),
+                    format!(
+                        "{src} sends {out_n} messages but only {in_n} input slots are wired \
+                         to it; deliveries collide"
+                    ),
+                );
+            }
+        }
+    }
+
+    // BF001: Kahn's algorithm over the edges both views agree on — per
+    // (producer, consumer) pair, min(slots wired, messages sent). Edges
+    // only one side believes in are starvation (BF003) or collisions
+    // (BF007), not cycles, and must not drag their consumer in here.
+    let mut indegree: HashMap<TaskId, usize> = tasks
+        .iter()
+        .map(|pt| {
+            let n: usize = pt
+                .sources
+                .iter()
+                .filter(|(s, _)| !s.is_external())
+                .map(|(src, slots)| {
+                    pt_of(*src).map_or(0, |p| slots.len().min(out_edges(p, pt.id())))
+                })
+                .sum();
+            (pt.id(), n)
+        })
+        .collect();
+    let mut frontier: Vec<TaskId> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&id, _)| id)
+        .collect();
+    while let Some(id) = frontier.pop() {
+        if let Some(pt) = pt_of(id) {
+            let mut dsts: Vec<TaskId> = pt
+                .routes
+                .iter()
+                .flatten()
+                .filter(|r| !r.is_external())
+                .map(|r| r.dst)
+                .collect();
+            dsts.sort_unstable();
+            dsts.dedup();
+            for dst in dsts {
+                let agreed = pt_of(dst).map_or(0, |c| {
+                    c.sources
+                        .iter()
+                        .find(|(s, _)| *s == id)
+                        .map_or(0, |(_, slots)| slots.len().min(out_edges(pt, dst)))
+                });
+                if let Some(d) = indegree.get_mut(&dst) {
+                    *d = d.saturating_sub(agreed);
+                    if *d == 0 && agreed > 0 {
+                        frontier.push(dst);
+                    }
+                }
+            }
+        }
+    }
+    let mut cyclic: Vec<TaskId> =
+        indegree.iter().filter(|(_, &d)| d > 0).map(|(&id, _)| id).collect();
+    cyclic.sort_unstable();
+    for &id in &cyclic {
+        rep.push(
+            DiagnosticCode::CycleDetected,
+            Severity::Error,
+            Some(id),
+            "task participates in (or is blocked behind) a dependency cycle".to_string(),
+        );
+    }
+
+    // BF006: a "will run" fixpoint. A task runs iff every internal
+    // producer exists, will itself run, and sends at least as many
+    // messages as the task wires slots for. Tasks outside the fixpoint
+    // that Kahn already attributed to a cycle keep their BF001 instead.
+    let mut will_run: HashMap<TaskId, bool> =
+        tasks.iter().map(|pt| (pt.id(), false)).collect();
+    loop {
+        let mut changed = false;
+        for pt in tasks {
+            if will_run[&pt.id()] {
+                continue;
+            }
+            let ok = pt.sources.iter().filter(|(s, _)| !s.is_external()).all(|(src, slots)| {
+                pt_of(*src).is_some_and(|producer| {
+                    will_run[src] && out_edges(producer, pt.id()) >= slots.len()
+                })
+            });
+            if ok {
+                will_run.insert(pt.id(), true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut stuck: Vec<TaskId> = will_run
+        .iter()
+        .filter(|(id, &runs)| !runs && !cyclic.contains(id))
+        .map(|(&id, _)| id)
+        .collect();
+    stuck.sort_unstable();
+    for id in stuck {
+        rep.push(
+            DiagnosticCode::UnreachableTask,
+            Severity::Error,
+            Some(id),
+            "task can never become ready; the run would stall with it pending".to_string(),
+        );
+    }
+
+    rep
+}
+
+/// Registry-dependent lint: BF004. Every callback a task uses (or the
+/// graph advertises) must be bound, and any arity the registry declares
+/// (see [`Registry::declare_arity`]) must match every task using it.
+/// Runs at preflight time, when the run's [`Registry`] is known.
+pub fn lint_bindings(
+    tasks: &[PlanTask],
+    advertised: &[CallbackId],
+    registry: &Registry,
+) -> VerifyReport {
+    let mut rep = VerifyReport::new();
+    let mut missing: Vec<CallbackId> = advertised
+        .iter()
+        .chain(tasks.iter().map(|pt| &pt.task.callback))
+        .filter(|&&cb| registry.get(cb).is_none())
+        .copied()
+        .collect();
+    missing.sort_unstable();
+    missing.dedup();
+    for cb in missing {
+        rep.push(
+            DiagnosticCode::UnregisteredCallback,
+            Severity::Error,
+            None,
+            format!("callback {cb} has no registered implementation"),
+        );
+    }
+
+    for pt in tasks {
+        let Some((inputs, outputs)) = registry.declared_arity(pt.task.callback) else {
+            continue;
+        };
+        if let Some(n) = inputs {
+            if n != pt.fan_in() {
+                rep.push(
+                    DiagnosticCode::UnregisteredCallback,
+                    Severity::Error,
+                    Some(pt.id()),
+                    format!(
+                        "callback {} is declared to take {n} inputs but the task has {} \
+                         input slots",
+                        pt.task.callback,
+                        pt.fan_in()
+                    ),
+                );
+            }
+        }
+        if let Some(n) = outputs {
+            if n != pt.fan_out() {
+                rep.push(
+                    DiagnosticCode::UnregisteredCallback,
+                    Severity::Error,
+                    Some(pt.id()),
+                    format!(
+                        "callback {} is declared to produce {n} outputs but the task has {} \
+                         output slots",
+                        pt.task.callback,
+                        pt.fan_out()
+                    ),
+                );
+            }
+        }
+    }
+    rep
+}

@@ -27,6 +27,7 @@ use std::collections::HashMap;
 use crate::controller::{ControllerError, InitialInputs, Result};
 use crate::graph::TaskGraph;
 use crate::ids::{CallbackId, ShardId, TaskId};
+use crate::lint::{self, VerifyReport};
 use crate::payload::Payload;
 use crate::registry::Registry;
 use crate::sync::Counter;
@@ -107,6 +108,8 @@ pub struct ShardPlan {
     callback_ids: Vec<CallbackId>,
     num_shards: u32,
     build_queries: u64,
+    lint: VerifyReport,
+    enforce_lint: bool,
 }
 
 impl ShardPlan {
@@ -167,6 +170,7 @@ impl ShardPlan {
             tasks.push(PlanTask { task, shard, external_inputs, sources, routes });
         }
 
+        let lint = lint::lint_plan(&tasks, &index, num_shards);
         ShardPlan {
             tasks,
             index,
@@ -176,7 +180,32 @@ impl ShardPlan {
             callback_ids: graph.callback_ids(),
             num_shards,
             build_queries,
+            lint,
+            enforce_lint: true,
         }
+    }
+
+    /// The structural lint findings computed at build time (BF001–BF007
+    /// except the registry-dependent BF004, which runs at
+    /// [`preflight`](Self::preflight)).
+    pub fn lint(&self) -> &VerifyReport {
+        &self.lint
+    }
+
+    /// Downgrade lint enforcement: [`preflight`](Self::preflight) will no
+    /// longer reject the plan on `Error`-level structural diagnostics.
+    /// The findings stay available through [`lint`](Self::lint); the run
+    /// then fails (or stalls) wherever the defect actually bites — which
+    /// is exactly what debugging a checker, or testing a controller's own
+    /// deadlock detection, needs.
+    pub fn lenient(mut self) -> Self {
+        self.enforce_lint = false;
+        self
+    }
+
+    /// Whether preflight rejects `Error`-level lint findings.
+    pub fn enforces_lint(&self) -> bool {
+        self.enforce_lint
     }
 
     /// Number of interned tasks.
@@ -246,11 +275,21 @@ impl ShardPlan {
     /// Plan-based preflight: same checks as
     /// [`preflight`](crate::controller::preflight) — callback bindings and
     /// external-input arity — but against the interned table, with zero
-    /// graph queries.
+    /// graph queries. Additionally gates on the structural lint computed
+    /// at build time and the registry-dependent BF004 pass: any
+    /// `Error`-level diagnostic rejects the run (unless the plan was
+    /// built [`lenient`](Self::lenient)).
     pub fn preflight(&self, registry: &Registry, initial: &InitialInputs) -> Result<()> {
+        if self.enforce_lint && self.lint.has_errors() {
+            return Err(ControllerError::LintRejected(self.lint.clone()));
+        }
         let missing = registry.missing(&self.callback_ids);
         if !missing.is_empty() {
             return Err(ControllerError::UnboundCallbacks(missing));
+        }
+        let bindings = lint::lint_bindings(&self.tasks, &self.callback_ids, registry);
+        if self.enforce_lint && bindings.has_errors() {
+            return Err(ControllerError::LintRejected(bindings));
         }
         for &ix in &self.inputs {
             let pt = &self.tasks[ix as usize];

@@ -21,11 +21,31 @@ use crate::payload::Payload;
 /// graph assumes idempotent tasks with no persistent state".
 pub type Callback = Arc<dyn Fn(Vec<Payload>, TaskId) -> Vec<Payload> + Send + Sync>;
 
+/// A [`CallbackId`] was registered twice. Accidental double registration
+/// used to silently shadow the earlier binding — a hard bug to find once
+/// a run produces wrong bytes — so [`Registry::register`] now rejects it.
+/// Replace a binding on purpose with [`Registry::rebind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DuplicateCallback(pub CallbackId);
+
+impl std::fmt::Display for DuplicateCallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "duplicate registration of callback {}; use rebind() to replace a binding",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for DuplicateCallback {}
+
 /// Mapping from [`CallbackId`] to [`Callback`]. Cloneable and cheap to share
 /// across shards/threads.
 #[derive(Clone, Default)]
 pub struct Registry {
     callbacks: HashMap<CallbackId, Callback>,
+    arities: HashMap<CallbackId, (Option<usize>, Option<usize>)>,
 }
 
 impl Registry {
@@ -34,8 +54,38 @@ impl Registry {
         Self::default()
     }
 
-    /// Bind `cb` to the implementation `f`, replacing any previous binding.
+    /// Bind `cb` to the implementation `f`.
+    ///
+    /// # Panics
+    /// If `cb` is already bound (see [`DuplicateCallback`]); use
+    /// [`try_register`](Self::try_register) to handle the collision, or
+    /// [`rebind`](Self::rebind) to replace a binding deliberately.
     pub fn register<F>(&mut self, cb: CallbackId, f: F) -> &mut Self
+    where
+        F: Fn(Vec<Payload>, TaskId) -> Vec<Payload> + Send + Sync + 'static,
+    {
+        self.register_arc(cb, Arc::new(f))
+    }
+
+    /// Bind `cb` to `f`, or report the collision if `cb` is already bound.
+    pub fn try_register<F>(
+        &mut self,
+        cb: CallbackId,
+        f: F,
+    ) -> std::result::Result<&mut Self, DuplicateCallback>
+    where
+        F: Fn(Vec<Payload>, TaskId) -> Vec<Payload> + Send + Sync + 'static,
+    {
+        if self.callbacks.contains_key(&cb) {
+            return Err(DuplicateCallback(cb));
+        }
+        Ok(self.register_arc(cb, Arc::new(f)))
+    }
+
+    /// Replace the binding of `cb` (registering it if absent). The loud
+    /// sibling of [`register`](Self::register) for intentional overrides —
+    /// e.g. swapping a production callback for a test double.
+    pub fn rebind<F>(&mut self, cb: CallbackId, f: F) -> &mut Self
     where
         F: Fn(Vec<Payload>, TaskId) -> Vec<Payload> + Send + Sync + 'static,
     {
@@ -44,9 +94,36 @@ impl Registry {
     }
 
     /// Bind an already-shared callback.
+    ///
+    /// # Panics
+    /// If `cb` is already bound (see [`DuplicateCallback`]).
     pub fn register_arc(&mut self, cb: CallbackId, f: Callback) -> &mut Self {
-        self.callbacks.insert(cb, f);
+        assert!(
+            self.callbacks.insert(cb, f).is_none(),
+            "{}",
+            DuplicateCallback(cb)
+        );
         self
+    }
+
+    /// Declare the arity of `cb`: the number of inputs it consumes and/or
+    /// outputs it produces, `None` leaving a direction unconstrained
+    /// (callbacks like a generic reducer take any fan-in). The BF004 lint
+    /// pass checks every task using `cb` against the declaration at
+    /// preflight.
+    pub fn declare_arity(
+        &mut self,
+        cb: CallbackId,
+        inputs: Option<usize>,
+        outputs: Option<usize>,
+    ) -> &mut Self {
+        self.arities.insert(cb, (inputs, outputs));
+        self
+    }
+
+    /// The declared arity of `cb` as `(inputs, outputs)`, if any.
+    pub fn declared_arity(&self, cb: CallbackId) -> Option<(Option<usize>, Option<usize>)> {
+        self.arities.get(&cb).copied()
     }
 
     /// Look up the implementation for a callback id.
@@ -115,13 +192,40 @@ mod tests {
     }
 
     #[test]
-    fn rebinding_replaces() {
+    fn explicit_rebinding_replaces() {
         let mut r = Registry::new();
         r.register(CallbackId(0), |_, _| vec![Payload::wrap(Blob(vec![1]))]);
-        r.register(CallbackId(0), |_, _| vec![Payload::wrap(Blob(vec![2]))]);
+        r.rebind(CallbackId(0), |_, _| vec![Payload::wrap(Blob(vec![2]))]);
         let out = r.get(CallbackId(0)).unwrap()(vec![], TaskId(0));
         assert_eq!(*out[0].extract::<Blob>().unwrap(), Blob(vec![2]));
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate registration of callback")]
+    fn accidental_duplicate_registration_is_rejected() {
+        let mut r = Registry::new();
+        r.register(CallbackId(0), |_, _| vec![]);
+        r.register(CallbackId(0), |_, _| vec![]); // shadowing bug: rejected
+    }
+
+    #[test]
+    fn try_register_reports_the_collision() {
+        let mut r = Registry::new();
+        r.register(CallbackId(3), |_, _| vec![]);
+        let err = r.try_register(CallbackId(3), |_, _| vec![]).unwrap_err();
+        assert_eq!(err, DuplicateCallback(CallbackId(3)));
+        assert!(err.to_string().contains("rebind"));
+        assert!(r.try_register(CallbackId(4), |_, _| vec![]).is_ok());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn arity_declarations_are_retrievable() {
+        let mut r = Registry::new();
+        r.register(CallbackId(0), |i, _| i).declare_arity(CallbackId(0), Some(2), Some(1));
+        assert_eq!(r.declared_arity(CallbackId(0)), Some((Some(2), Some(1))));
+        assert_eq!(r.declared_arity(CallbackId(1)), None);
     }
 
     #[test]

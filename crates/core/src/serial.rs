@@ -320,9 +320,17 @@ mod tests {
         // Remove the external input but keep the graph shape: t0 never runs.
         let mut g = diamond();
         g.task_mut(TaskId(0)).unwrap().incoming = vec![TaskId(42)];
-        // Patch a fake producer in so validation-by-preflight passes (the
-        // serial controller does not validate shape, only bindings/inputs).
+        let map = crate::taskmap::ModuloMap::new(1, g.size() as u64);
+        // The strict preflight lint now rejects the dangling edge outright…
         let err = run_serial(&g, &diamond_registry(), HashMap::new()).unwrap_err();
+        assert!(matches!(err, ControllerError::LintRejected(_)), "got {err}");
+        // …but a lenient plan still lets the run proceed to the runtime
+        // deadlock, for callers who want the old behavior.
+        let plan = Arc::new(ShardPlan::build(&g, &map).lenient());
+        let err = SerialController::new()
+            .with_plan(plan)
+            .run(&g, &map, &diamond_registry(), HashMap::new())
+            .unwrap_err();
         assert!(matches!(err, ControllerError::Deadlock { pending } if pending.len() == 4));
     }
 
@@ -330,7 +338,7 @@ mod tests {
     fn bad_arity_is_reported() {
         let g = diamond();
         let mut r = diamond_registry();
-        r.register(CallbackId(0), |_, _| vec![]); // should produce 2 outputs
+        r.rebind(CallbackId(0), |_, _| vec![]); // should produce 2 outputs
         let mut init = HashMap::new();
         init.insert(TaskId(0), vec![Payload::wrap(Blob(vec![]))]);
         let err = run_serial(&g, &r, init).unwrap_err();
@@ -358,7 +366,7 @@ mod tests {
         let g = diamond();
         let mut r = diamond_registry();
         crate::fault::quiet_panic_hook();
-        r.register(CallbackId(1), |_, _| -> Vec<Payload> {
+        r.rebind(CallbackId(1), |_, _| -> Vec<Payload> {
             panic!("{}: always fails", crate::fault::PANIC_MARKER)
         });
         let mut init = HashMap::new();

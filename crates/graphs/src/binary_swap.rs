@@ -21,6 +21,8 @@
 
 use babelflow_core::{CallbackId, Task, TaskGraph, TaskId};
 
+use crate::error::GraphError;
+
 /// Callback slot index of round-0 leaf tasks.
 pub const LEAF_CB: usize = 0;
 /// Callback slot index of intermediate swap/composite tasks.
@@ -40,11 +42,20 @@ impl BinarySwap {
     /// Build a binary swap over `leaves` inputs.
     ///
     /// # Panics
-    /// If `leaves` is not a power of two or is smaller than 2.
+    /// If `leaves` is not a power of two or is smaller than 2; see
+    /// [`try_new`](Self::try_new) for the fallible form.
     pub fn new(leaves: u64) -> Self {
-        assert!(leaves >= 2 && leaves.is_power_of_two(), "binary swap needs 2^r >= 2 leaves");
+        Self::try_new(leaves).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: reports bad parameters as a [`GraphError`]
+    /// instead of panicking.
+    pub fn try_new(leaves: u64) -> Result<Self, GraphError> {
+        if leaves < 2 || !leaves.is_power_of_two() {
+            return Err(GraphError::NotPowerOfTwo { leaves });
+        }
         let rounds = leaves.trailing_zeros();
-        BinarySwap { n: leaves, rounds, callbacks: vec![CallbackId(0), CallbackId(1), CallbackId(2)] }
+        Ok(BinarySwap { n: leaves, rounds, callbacks: vec![CallbackId(0), CallbackId(1), CallbackId(2)] })
     }
 
     /// Use custom callback ids (in `[leaf, swap, write]` order).

@@ -7,6 +7,7 @@
 
 use babelflow_core::{CallbackId, Task, TaskGraph, TaskId};
 
+use crate::error::GraphError;
 use crate::reduction::exact_log;
 
 /// Callback slot index of relay tasks (root and interior).
@@ -31,14 +32,26 @@ impl Broadcast {
     /// Build a broadcast to `leaves` outputs with the given `valence`.
     ///
     /// # Panics
-    /// If `valence < 2` or `leaves` is not a positive power of `valence`.
+    /// If `valence < 2` or `leaves` is not a positive power of `valence`;
+    /// see [`try_new`](Self::try_new) for the fallible form.
     pub fn new(leaves: u64, valence: u64) -> Self {
-        assert!(valence >= 2, "broadcast valence must be at least 2");
+        Self::try_new(leaves, valence).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: reports bad parameters as a [`GraphError`]
+    /// instead of panicking.
+    pub fn try_new(leaves: u64, valence: u64) -> Result<Self, GraphError> {
+        const FAMILY: &str = "broadcast";
+        if valence < 2 {
+            return Err(GraphError::ValenceTooSmall { family: FAMILY, valence });
+        }
         let d = exact_log(leaves, valence)
-            .unwrap_or_else(|| panic!("{leaves} leaves is not a power of valence {valence}"));
-        assert!(d >= 1, "a broadcast needs at least one level (leaves >= valence)");
+            .ok_or(GraphError::NotPowerOfValence { family: FAMILY, leaves, valence })?;
+        if d < 1 {
+            return Err(GraphError::TooShallow { family: FAMILY });
+        }
         let n_tasks = (valence.pow(d + 1) - 1) / (valence - 1);
-        Broadcast { k: valence, d, n_tasks, leaves, callbacks: vec![CallbackId(0), CallbackId(1)] }
+        Ok(Broadcast { k: valence, d, n_tasks, leaves, callbacks: vec![CallbackId(0), CallbackId(1)] })
     }
 
     /// Use custom callback ids (in `[relay, leaf]` order).

@@ -1,0 +1,87 @@
+//! Canonical construction errors for the graph families.
+//!
+//! Every family offers a fallible `try_new` returning [`GraphError`], and
+//! the panicking `new` delegates to it. Tooling that probes graphs with
+//! arbitrary parameters — the `babelflow-verify` linter, fuzzers, config
+//! loaders — matches on the variant instead of catching a panic.
+
+/// Why a graph family rejected its construction parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A tree-shaped family was asked for a fan-in/fan-out below two.
+    ValenceTooSmall {
+        /// Family name ("reduction", "broadcast", "merge dataflow").
+        family: &'static str,
+        /// The offending valence.
+        valence: u64,
+    },
+    /// The leaf count is not a positive power of the valence.
+    NotPowerOfValence {
+        /// Family name.
+        family: &'static str,
+        /// The offending leaf count.
+        leaves: u64,
+        /// The requested valence.
+        valence: u64,
+    },
+    /// The parameters describe a degenerate tree with zero levels
+    /// (fewer leaves than the valence).
+    TooShallow {
+        /// Family name.
+        family: &'static str,
+    },
+    /// Binary swap requires a power-of-two leaf count of at least 2.
+    NotPowerOfTwo {
+        /// The offending leaf count.
+        leaves: u64,
+    },
+    /// A neighbor-graph grid dimension (or slab count) was zero.
+    EmptyGrid,
+    /// A neighbor graph over fewer than two volumes has no edges.
+    TooFewVolumes {
+        /// Grid width.
+        gx: u64,
+        /// Grid height.
+        gy: u64,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GraphError::ValenceTooSmall { family, valence } => {
+                write!(f, "{family} valence must be at least 2 (got {valence})")
+            }
+            GraphError::NotPowerOfValence { family, leaves, valence } => {
+                write!(f, "{family}: {leaves} leaves is not a power of valence {valence}")
+            }
+            GraphError::TooShallow { family } => {
+                write!(f, "{family} needs at least one level (leaves >= valence)")
+            }
+            GraphError::NotPowerOfTwo { leaves } => {
+                write!(f, "binary swap needs 2^r >= 2 leaves (got {leaves})")
+            }
+            GraphError::EmptyGrid => write!(f, "grid dimensions must be positive"),
+            GraphError::TooFewVolumes { gx, gy } => {
+                write!(f, "registration needs at least two volumes (got {gx}x{gy})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_parameters() {
+        let e = GraphError::NotPowerOfValence { family: "reduction", leaves: 6, valence: 2 };
+        assert_eq!(e.to_string(), "reduction: 6 leaves is not a power of valence 2");
+        assert!(GraphError::NotPowerOfTwo { leaves: 6 }.to_string().contains("2^r"));
+        assert!(GraphError::TooFewVolumes { gx: 1, gy: 1 }
+            .to_string()
+            .contains("at least two volumes"));
+    }
+}

@@ -25,6 +25,7 @@
 
 use babelflow_core::{CallbackId, ShardId, Task, TaskGraph, TaskId, TaskMap};
 
+use crate::error::GraphError;
 use crate::reduction::exact_log;
 
 /// Callback slot index of leaf local-computation tasks.
@@ -106,19 +107,31 @@ impl KWayMerge {
     ///
     /// # Panics
     /// If `valence < 2` or `leaves` is not a power of `valence` with at
-    /// least one reduction level.
+    /// least one reduction level; see [`try_new`](Self::try_new) for the
+    /// fallible form.
     pub fn new(leaves: u64, valence: u64) -> Self {
-        assert!(valence >= 2, "merge dataflow valence must be at least 2");
+        Self::try_new(leaves, valence).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: reports bad parameters as a [`GraphError`]
+    /// instead of panicking.
+    pub fn try_new(leaves: u64, valence: u64) -> Result<Self, GraphError> {
+        const FAMILY: &str = "merge dataflow";
+        if valence < 2 {
+            return Err(GraphError::ValenceTooSmall { family: FAMILY, valence });
+        }
         let d = exact_log(leaves, valence)
-            .unwrap_or_else(|| panic!("{leaves} leaves is not a power of valence {valence}"));
-        assert!(d >= 1, "merge dataflow needs at least one join level");
-        KWayMerge {
+            .ok_or(GraphError::NotPowerOfValence { family: FAMILY, leaves, valence })?;
+        if d < 1 {
+            return Err(GraphError::TooShallow { family: FAMILY });
+        }
+        Ok(KWayMerge {
             k: valence,
             d,
             n: leaves,
             mode: BroadcastMode::RelayTree,
             callbacks: (0..5).map(CallbackId).collect(),
-        }
+        })
     }
 
     /// Switch to direct join→correction broadcasts (no relay tasks); see

@@ -21,11 +21,13 @@
 
 pub mod binary_swap;
 pub mod broadcast;
+pub mod error;
 pub mod kway_merge;
 pub mod neighbor;
 pub mod reduction;
 
 pub use binary_swap::BinarySwap;
+pub use error::GraphError;
 pub use broadcast::Broadcast;
 pub use kway_merge::{BroadcastMode, KWayMerge, MergeRole, MergeTreeMap};
 pub use neighbor::{GridEdge, NeighborGraph, NeighborRole};

@@ -16,6 +16,8 @@
 
 use babelflow_core::{CallbackId, Task, TaskGraph, TaskId};
 
+use crate::error::GraphError;
+
 /// Callback slot index of per-(volume, slab) read tasks.
 pub const READ_CB: usize = 0;
 /// Callback slot index of per-(edge, slab) correlation tasks.
@@ -76,11 +78,22 @@ impl NeighborGraph {
     /// per volume.
     ///
     /// # Panics
-    /// If any dimension is zero or the grid has no edges (single volume).
+    /// If any dimension is zero or the grid has no edges (single volume);
+    /// see [`try_new`](Self::try_new) for the fallible form.
     pub fn new(gx: u64, gy: u64, slabs: u64) -> Self {
-        assert!(gx > 0 && gy > 0 && slabs > 0, "grid dimensions must be positive");
-        assert!(gx * gy >= 2, "registration needs at least two volumes");
-        NeighborGraph { gx, gy, slabs, callbacks: (0..4).map(CallbackId).collect() }
+        Self::try_new(gx, gy, slabs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: reports bad parameters as a [`GraphError`]
+    /// instead of panicking.
+    pub fn try_new(gx: u64, gy: u64, slabs: u64) -> Result<Self, GraphError> {
+        if gx == 0 || gy == 0 || slabs == 0 {
+            return Err(GraphError::EmptyGrid);
+        }
+        if gx * gy < 2 {
+            return Err(GraphError::TooFewVolumes { gx, gy });
+        }
+        Ok(NeighborGraph { gx, gy, slabs, callbacks: (0..4).map(CallbackId).collect() })
     }
 
     /// Grid width.

@@ -7,6 +7,8 @@
 
 use babelflow_core::{CallbackId, Task, TaskGraph, TaskId};
 
+use crate::error::GraphError;
+
 /// Callback slot index of leaf tasks (external input, e.g. local render).
 pub const LEAF_CB: usize = 0;
 /// Callback slot index of interior reduce tasks (e.g. composite).
@@ -28,20 +30,32 @@ impl Reduction {
     /// Build a reduction over `leaves` inputs with the given `valence`.
     ///
     /// # Panics
-    /// If `valence < 2` or `leaves` is not a positive power of `valence`.
+    /// If `valence < 2` or `leaves` is not a positive power of `valence`;
+    /// see [`try_new`](Self::try_new) for the fallible form.
     pub fn new(leaves: u64, valence: u64) -> Self {
-        assert!(valence >= 2, "reduction valence must be at least 2");
+        Self::try_new(leaves, valence).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: reports bad parameters as a [`GraphError`]
+    /// instead of panicking.
+    pub fn try_new(leaves: u64, valence: u64) -> Result<Self, GraphError> {
+        const FAMILY: &str = "reduction";
+        if valence < 2 {
+            return Err(GraphError::ValenceTooSmall { family: FAMILY, valence });
+        }
         let d = exact_log(leaves, valence)
-            .unwrap_or_else(|| panic!("{leaves} leaves is not a power of valence {valence}"));
-        assert!(d >= 1, "a reduction needs at least one level (leaves >= valence)");
+            .ok_or(GraphError::NotPowerOfValence { family: FAMILY, leaves, valence })?;
+        if d < 1 {
+            return Err(GraphError::TooShallow { family: FAMILY });
+        }
         let n_tasks = (valence.pow(d + 1) - 1) / (valence - 1);
-        Reduction {
+        Ok(Reduction {
             k: valence,
             d,
             n_tasks,
             leaves,
             callbacks: vec![CallbackId(0), CallbackId(1), CallbackId(2)],
-        }
+        })
     }
 
     /// Use custom callback ids instead of the default `0, 1, 2` (in

@@ -266,7 +266,7 @@ use babelflow_graphs::{BinarySwap, Reduction};
         babelflow_core::quiet_panic_hook();
         let g = Reduction::new(4, 2);
         let mut reg = sum_registry();
-        reg.register(CallbackId(2), |_, _| -> Vec<Payload> {
+        reg.rebind(CallbackId(2), |_, _| -> Vec<Payload> {
             panic!("{}: root always fails", babelflow_core::PANIC_MARKER)
         });
         let map = ModuloMap::new(2, g.size() as u64);

@@ -129,6 +129,14 @@ impl Trace {
         self.of_kind(SpanKind::TaskExec).find(|e| e.task == task)
     }
 
+    /// Every `TaskExec` span of `task`, in start order — more than one
+    /// when fault recovery retried or re-fired the task. Consumers that
+    /// need a single canonical witness (e.g. the happens-before checker
+    /// in `babelflow-verify`) take the first.
+    pub fn task_spans(&self, task: TaskId) -> impl Iterator<Item = &TraceEvent> {
+        self.of_kind(SpanKind::TaskExec).filter(move |e| e.task == task)
+    }
+
     /// Earliest start timestamp (0 for an empty trace).
     pub fn start_ns(&self) -> u64 {
         self.events.first().map_or(0, |e| e.start_ns)

@@ -18,5 +18,6 @@ pub use babelflow_topology as topology;
 // Explicit (not via the glob below, which would bind `trace` to
 // babelflow_core's schema module): the full recording/analysis crate.
 pub use babelflow_trace as trace;
+pub use babelflow_verify as verify;
 
 pub use babelflow_core::*;

@@ -237,6 +237,7 @@ fn run_conformance_case(case_seed: u64) -> Result<(), String> {
     let canon = canonical_outputs(&golden);
 
     let map = FnMap::new(ranks, ids, move |t| ShardId((t.0 % ranks as u64) as u32));
+    let shard_plan = babelflow::core::ShardPlan::build(&*graph, &map);
     let timeout = Duration::from_secs(4);
 
     let mut backends: Vec<(&str, Box<dyn Controller>)> = vec![
@@ -273,8 +274,9 @@ fn run_conformance_case(case_seed: u64) -> Result<(), String> {
         // Each backend re-arms the one-shot panics: every one of them must
         // absorb the callback fault, not just whichever ran first.
         let poisoned = inject_panics(&reg, &plan);
+        let rec = babelflow::trace::TraceRecorder::shared();
         let report = ctrl
-            .run(&*graph, &map, &poisoned, seeded_inputs(&*graph, input_seed))
+            .run_traced(&*graph, &map, &poisoned, seeded_inputs(&*graph, input_seed), rec.clone())
             .map_err(|e| format!("{name} failed under faults: {e}"))?;
         if canonical_outputs(&report) != canon {
             return Err(format!("{name} outputs diverge from the serial golden"));
@@ -284,6 +286,12 @@ fn run_conformance_case(case_seed: u64) -> Result<(), String> {
                 "{name} reported no retries although {} callback panics were armed",
                 plan.panic_once.len()
             ));
+        }
+        // Every conformance case also proves happens-before consistency:
+        // each task's first execution is ordered after its producers'.
+        let hb = babelflow::verify::check_happens_before(&rec.take(), &shard_plan);
+        if !hb.is_clean() {
+            return Err(format!("{name} trace violates happens-before: {hb}"));
         }
     }
     Ok(())
